@@ -1,0 +1,28 @@
+// Command fpexp runs the paper-reproduction experiments and prints the
+// series each figure of the paper plots.
+//
+// Usage:
+//
+//	fpexp -list
+//	fpexp -exp fig7
+//	fpexp -exp all -quick
+//	fpexp -exp fig5a -csv > fig5a.csv
+//	fpexp -exp fig8 -plot
+//
+// Experiment ids follow DESIGN.md's per-experiment index: fig1–fig11,
+// prop1, and the abl-* ablations.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.RunFpexp(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "fpexp: %v\n", err)
+		os.Exit(1)
+	}
+}

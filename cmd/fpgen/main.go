@@ -1,0 +1,27 @@
+// Command fpgen generates the communication graphs used by the paper's
+// evaluation and writes them as edge-list files (one "u v" pair per line,
+// '#' comments), the format cmd/fpplace reads.
+//
+// Usage:
+//
+//	fpgen -dataset quote -out quote.edges
+//	fpgen -dataset layered -x 3 -out dense.edges
+//	fpgen -dataset twitter -scale 0.1 -seed 7 -out twitter.edges
+//
+// The source node of each generated graph is reported on stderr; every
+// generator is deterministic for a fixed seed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.RunFpgen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Adhoc: broadcast by flooding (the paper's §2 discussion). In an ad-hoc
+// mesh, flooding delivers a broadcast by having every node retransmit what
+// it hears — which loops forever on the mesh's cycles unless nodes suppress
+// duplicates. Fingerprint-based suppression at *every* node is the classic
+// fix (cheap when payloads are identical); the paper's filter placement
+// targets the complementary regime where duplicate detection is expensive
+// and only k nodes can afford it. This example measures both on the same
+// mesh with the event-level simulator.
+//
+//	go run ./examples/adhoc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fp "repro"
+)
+
+// buildMesh builds a connected random geometric-ish mesh with symmetric
+// links (u→v and v→u), the shape of an ad-hoc radio network.
+func buildMesh(n, degree int, seed int64) *fp.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := fp.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v) // ensures connectivity
+		b.AddEdge(u, v)
+		b.AddEdge(v, u)
+	}
+	for i := 0; i < n*(degree-1)/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+			b.AddEdge(v, u)
+		}
+	}
+	return b.MustBuild()
+}
+
+func main() {
+	const n = 150
+	g := buildMesh(n, 4, 7)
+	fmt.Printf("Ad-hoc mesh: %d radios, %d directed links (cyclic).\n\n", g.N(), g.M())
+
+	sim, err := fp.NewSimulator(g, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.MaxEvents = 1 << 18
+
+	// Naive flooding: no duplicate suppression — diverges on any cycle.
+	if _, err := sim.Run(nil); err != fp.ErrBudget {
+		log.Fatalf("expected divergence, got %v", err)
+	}
+	fmt.Println("Naive flooding: diverges (copies loop on mesh cycles forever).")
+
+	// Classic flooding: every node suppresses duplicates by fingerprint —
+	// i.e., every node is a filter.
+	all := make([]bool, g.N())
+	for v := 1; v < g.N(); v++ {
+		all[v] = true
+	}
+	recAll, err := sim.Run(all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fingerprints everywhere: %d transmissions for %d radios (%.1f per radio).\n",
+		total(recAll), n-1, float64(total(recAll))/float64(n-1))
+
+	// Filter placement: only k radios can afford content comparison (the
+	// paper's regime: similar-but-not-identical payloads). Extract the
+	// broadcast DAG the item actually follows and place filters there.
+	dag, _, err := fp.Acyclic(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := fp.NewModel(dag, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := fp.NewFloat(model)
+	// Baseline on the same broadcast DAG: suppression at every node.
+	baseline := ev.Phi(fp.AllFilters(model))
+	fmt.Println("\nk    transmissions   vs suppression-everywhere (same DAG)")
+	for _, k := range []int{0, 4, 16, 64} {
+		filters := fp.GreedyAll(ev, k)
+		phi := ev.Phi(fp.MaskOf(dag.N(), filters))
+		fmt.Printf("%-4d %-14.0f ×%.2f\n", len(filters), phi, phi/baseline)
+	}
+	fmt.Println("\nA few dozen well-placed comparison points tame most of the overhead")
+	fmt.Println("that full fingerprint suppression removes — without requiring every")
+	fmt.Println("impoverished radio to run content comparison.")
+}
+
+func total(rec []int64) int64 {
+	s := int64(0)
+	for _, r := range rec {
+		s += r
+	}
+	return s
+}

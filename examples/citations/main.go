@@ -1,0 +1,55 @@
+// Citations: reproduce the paper's APS case study. In a citation network a
+// "filter" is a consolidation point in the knowledge-transfer process — a
+// survey that cites the primary source once so derivative work need not.
+// The APS-like graph contains the paper's Figure-10 trap: a chain of
+// in-degree-one papers that all *look* maximally influential, although
+// consolidating at the first one makes the rest redundant. We show how the
+// one-shot Greedy_Max heuristic falls into the trap and the adaptive
+// Greedy_All avoids it.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fp "repro"
+)
+
+func main() {
+	g, source := fp.CitationLike(1997) // Rader et al., Phys. Rev. B 55 (1997)
+	model, err := fp.NewModel(g, []int{source})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := fp.NewFloat(model)
+	fmt.Printf("Citation network: %d papers, %d citations.\n", g.N(), g.M())
+	fmt.Printf("Redundant knowledge transfers without consolidation: Φ = %.4g\n\n", ev.Phi(nil))
+
+	// The trap: the ten highest static impacts are the gateway paper and
+	// the chain behind it.
+	impacts := ev.Impacts(nil)
+	top := fp.GreedyMax(ev, 10)
+	fmt.Println("Top-10 papers by static impact (G_Max's picks):")
+	for i, v := range top {
+		fmt.Printf("  %2d. paper %-6d impact %.4g\n", i+1, v, impacts[v])
+	}
+
+	maskMax := fp.MaskOf(g.N(), top)
+	fmt.Printf("\nG_Max consolidates at all ten: FR = %.4f\n", fp.FR(ev, maskMax))
+	fmt.Printf("...but after its FIRST pick alone:  FR = %.4f\n", fp.FR(ev, fp.MaskOf(g.N(), top[:1])))
+	fmt.Println("Nine of its ten picks were worthless: filtering the gateway")
+	fmt.Println("already de-duplicates everything the chain papers relay.")
+
+	// Greedy_All recomputes impacts after each pick.
+	plan := fp.GreedyAll(ev, 10)
+	fmt.Println("\nGreedy_All's adaptive plan:")
+	mask := make([]bool, g.N())
+	for i, v := range plan {
+		mask[v] = true
+		fmt.Printf("  %2d. paper %-6d FR → %.4f\n", i+1, v, fp.FR(ev, mask))
+	}
+	fmt.Printf("\nSame budget, FR %.4f vs %.4f — the paper's Figure 9 in one run.\n",
+		fp.FR(ev, mask), fp.FR(ev, maskMax))
+}

@@ -1,0 +1,72 @@
+// Multitopic: the multi-item, multirate extension the paper sketches in §3
+// and names as ongoing work in §6. A newsroom network carries three
+// streams — breaking news from the wire, analysis from a mid-network desk,
+// and opinion pieces from a columnist — at different rates. De-duplication
+// budgeted against only the loudest stream wastes most of its filters;
+// optimizing the rate-weighted aggregate objective covers all three.
+//
+//	go run ./examples/multitopic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fp "repro"
+)
+
+func main() {
+	g, wire := fp.Layered(8, 60, 1, 4, 99)
+	fmt.Printf("Newsroom relay network: %d desks, %d links.\n\n", g.N(), g.M())
+
+	// Pick two mid-network originators (a desk at depth 3, a columnist at
+	// depth 4) and calibrate rates so the three streams carry comparable
+	// epoch traffic in proportion 1 : 2 : 1.
+	_, levels := g.BFSLevels(wire)
+	desk, columnist := levels[3][0], levels[4][0]
+	sources := []int{wire, desk, columnist}
+	names := []string{"breaking", "analysis", "op-ed"}
+	shares := []float64{1, 2, 1}
+	items := make([]fp.Item, 3)
+	for i, s := range sources {
+		probe, err := fp.NewMulti(g, []fp.Item{{Source: s}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		items[i] = fp.Item{Name: names[i], Source: s, Rate: shares[i] / probe.Phi(nil)}
+		fmt.Printf("stream %-9s from desk %-4d — unit traffic %.3g, calibrated rate %.3g\n",
+			names[i], s, probe.Phi(nil), items[i].Rate)
+	}
+
+	multi, err := fp.NewMulti(g, items)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plan A: optimize only the breaking stream. Plan B: optimize the
+	// aggregate. Both evaluated on the aggregate objective.
+	single, err := fp.NewModel(g, []int{wire})
+	if err != nil {
+		log.Fatal(err)
+	}
+	planA := fp.GreedyAll(fp.NewFloat(single), 10)
+	planB := fp.GreedyAll(multi, 10)
+
+	fmt.Println("\nk    breaking-only FR   aggregate-aware FR")
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		a, b := planA[:min(k, len(planA))], planB[:min(k, len(planB))]
+		fmt.Printf("%-4d %.4f             %.4f\n", k,
+			fp.FR(multi, fp.MaskOf(g.N(), a)),
+			fp.FR(multi, fp.MaskOf(g.N(), b)))
+	}
+	fmt.Println("\nThe aggregate-aware plan splits its budget between the wire's fan-out")
+	fmt.Println("and the desks' downstream junctions; the breaking-only plan leaves the")
+	fmt.Println("analysis and op-ed traffic (three quarters of all deliveries) unfiltered.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

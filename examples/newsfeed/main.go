@@ -1,0 +1,61 @@
+// Newsfeed: the paper's motivating scenario at realistic scale. A phrase
+// ("lipstick on a pig") spreads through a 932-site media network; readers
+// of popular aggregator sites see the same story many times. We ask: how
+// few sites would need de-duplication ("filtering") to clean up everyone's
+// feed, and which sites should they be?
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	fp "repro"
+)
+
+func main() {
+	g, source := fp.QuoteLike(2012)
+	model, err := fp.NewModel(g, []int{source})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := fp.NewFloat(model)
+
+	fmt.Printf("Media network: %d sites, %d links, %d of them pure consumers (sinks).\n",
+		g.N(), g.M(), len(g.Sinks()))
+
+	// How bad is multiplicity? Rank consumers by duplicate deliveries.
+	received := ev.Received(nil)
+	type feed struct {
+		site   int
+		copies float64
+	}
+	var worst []feed
+	for v, c := range received {
+		if c > 1 {
+			worst = append(worst, feed{v, c})
+		}
+	}
+	sort.Slice(worst, func(i, j int) bool { return worst[i].copies > worst[j].copies })
+	fmt.Printf("%d sites see the story more than once; the five worst feeds:\n", len(worst))
+	for _, f := range worst[:5] {
+		fmt.Printf("  site %-4d sees %3.0f copies of the same story\n", f.site, f.copies)
+	}
+	fmt.Printf("Total deliveries: %.0f for a story %d sites need once.\n\n", ev.Phi(nil), g.N()-1)
+
+	// Sweep the filter budget with Greedy_All and report marginal value.
+	fmt.Println("k   filter at   FR      duplicates left")
+	plan := fp.GreedyAll(ev, 8)
+	mask := make([]bool, g.N())
+	for i, site := range plan {
+		mask[site] = true
+		left := ev.Phi(mask) - float64(g.N()-1)
+		fmt.Printf("%-3d site %-6d %.4f  %6.0f\n", i+1, site, fp.FR(ev, mask), left)
+	}
+	fmt.Printf("\n%d filters were enough: the Proposition-1 minimal perfect set is %v.\n",
+		len(plan), fp.UnboundedOptimal(g))
+	fmt.Println("(Every remaining duplicate lands at a pure consumer, where the paper's")
+	fmt.Println("model ends — a feed-level de-duplicator at those sinks is a UI concern.)")
+}

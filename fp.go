@@ -1,0 +1,318 @@
+// Package fp is a Go implementation of the Filter-Placement problem from
+// "The Filter-Placement Problem and its Application to Minimizing
+// Information Multiplicity" (Erdős, Ishakian, Lapets, Terzi, Bestavros;
+// PVLDB 5(5), 2012).
+//
+// In a communication graph, source nodes inject information items and every
+// node blindly relays every copy it receives to all out-neighbors, so a
+// node receives one copy per directed path from a source — the paper's
+// "information multiplicity". A filter is a node that forwards each
+// distinct item once. Given a budget k, filter placement asks for the k
+// nodes whose filtering maximizes the drop in total copies delivered:
+//
+//	F(A) = Φ(∅, V) − Φ(A, V)
+//
+// This package is the public facade over the implementation:
+//
+//   - Graph construction: NewBuilder, FromEdges, ReadEdgeList.
+//   - Propagation models and objective evaluation: NewModel, NewFloat
+//     (fast float64, supports probabilistic edge weights), NewBig (exact
+//     big-integer arithmetic), FR.
+//   - Placement algorithms: GreedyAll — the paper's (1−1/e)-approximation —
+//     with GreedyAllCELF as a lazy variant, the scalable heuristics
+//     GreedyMax, Greedy1 and GreedyL, randomized baselines RandK, RandI,
+//     RandW, the exact TreeDP for communication trees, Exhaustive for tiny
+//     instances, and UnboundedOptimal (Proposition 1).
+//   - Cyclic inputs: Acyclic and AcyclicBestRoot extract a maximal
+//     connected acyclic subgraph first (paper §4.3).
+//   - Dataset generators used by the paper's evaluation, from the layered
+//     synthetic graphs to structure-matched stand-ins for the Quote,
+//     Twitter and APS-citation datasets.
+//   - The full experiment harness: RunExperiment regenerates any figure of
+//     the paper's evaluation section.
+//
+// A minimal session:
+//
+//	g := fp.MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+//	model, _ := fp.NewModel(g, nil)        // sources = in-degree-0 nodes
+//	ev := fp.NewFloat(model)
+//	filters := fp.GreedyAll(ev, 1)         // → [3's parent junction]
+//	fmt.Println(fp.FR(ev, fp.MaskOf(g.N(), filters)))
+package fp
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/acyclic"
+	"repro/internal/centrality"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Graph is an immutable directed communication graph. See Builder and
+// FromEdges for construction.
+type Graph = graph.Digraph
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// DegreeStats summarizes a degree sequence.
+type DegreeStats = graph.DegreeStats
+
+// ErrCyclic is returned by DAG-only operations on cyclic graphs.
+var ErrCyclic = graph.ErrCyclic
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges [][2]int) *Graph { return graph.MustFromEdges(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line,
+// '#' comments; non-numeric tokens become node labels).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// ReadWeightedEdgeList parses the "u v p" format carrying per-edge relay
+// probabilities; the returned lookup plugs into Model.WithWeights.
+func ReadWeightedEdgeList(r io.Reader) (*Graph, func(u, v int) float64, error) {
+	return graph.ReadWeightedEdgeList(r)
+}
+
+// WriteEdgeList writes a graph in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// WriteDOT writes a graph in Graphviz DOT format; highlight (optional)
+// marks nodes — typically a filter placement — to draw filled.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight []bool) error {
+	return graph.WriteDOT(w, g, name, highlight)
+}
+
+// Dominators returns idom[v] for every node reachable from root (-1 for
+// unreachable nodes). Node d dominates v when every root→v path passes
+// through d — the structure behind the paper's Figure-10 bottleneck.
+func Dominators(g *Graph, root int) []int { return g.Dominators(root) }
+
+// Dominates reports whether d dominates v under an idom table.
+func Dominates(idom []int, d, v int) bool { return graph.Dominates(idom, d, v) }
+
+// DominatedCount returns each node's choke-point score: how many nodes it
+// dominates.
+func DominatedCount(idom []int) []int { return graph.DominatedCount(idom) }
+
+// Model binds a DAG to its information sources and optional edge weights.
+type Model = flow.Model
+
+// Evaluator computes Φ, impacts and the objective for a model; see NewFloat
+// and NewBig.
+type Evaluator = flow.Evaluator
+
+// Simulator propagates individual copies event-by-event; unlike the
+// analytic evaluators it also runs on cyclic graphs under an event budget.
+type Simulator = flow.Simulator
+
+// ErrNotDAG is returned when a model is constructed over a cyclic graph.
+var ErrNotDAG = flow.ErrNotDAG
+
+// ErrBudget is returned by Simulator when propagation diverges.
+var ErrBudget = flow.ErrBudget
+
+// NewModel validates a DAG + sources pair. Empty sources means every
+// in-degree-0 node.
+func NewModel(g *Graph, sources []int) (*Model, error) { return flow.NewModel(g, sources) }
+
+// NewFloat builds the fast float64 evaluator (supports WithWeights models).
+func NewFloat(m *Model) Evaluator { return flow.NewFloat(m) }
+
+// NewBig builds the exact big-integer evaluator for deterministic models.
+func NewBig(m *Model) Evaluator { return flow.NewBig(m) }
+
+// NewSimulator builds an event-level simulator over any directed graph.
+func NewSimulator(g *Graph, sources []int) (*Simulator, error) {
+	return flow.NewSimulator(g, sources)
+}
+
+// FR returns the paper's Filter Ratio F(A)/F(V) ∈ [0, 1].
+func FR(ev Evaluator, filters []bool) float64 { return flow.FR(ev, filters) }
+
+// MaskOf converts a node list to a boolean mask of length n.
+func MaskOf(n int, nodes []int) []bool { return flow.MaskOf(n, nodes) }
+
+// NodesOf converts a mask to an ascending node list.
+func NodesOf(mask []bool) []int { return flow.NodesOf(mask) }
+
+// AllFilters returns the mask with a filter at every non-source node.
+func AllFilters(m *Model) []bool { return flow.AllFilters(m) }
+
+// GreedyAll is the paper's Greedy_All (1−1/e)-approximation: k rounds of
+// exact marginal-gain maximization, O(k·|E|) total.
+func GreedyAll(ev Evaluator, k int) []int { return core.GreedyAll(ev, k) }
+
+// OracleStats counts objective evaluations spent by a greedy variant.
+type OracleStats = core.OracleStats
+
+// GreedyAllCELF is GreedyAll with CELF lazy evaluation; identical output,
+// counted gain evaluations.
+func GreedyAllCELF(ev Evaluator, k int) ([]int, OracleStats) { return core.GreedyAllCELF(ev, k) }
+
+// GreedyMax computes all impacts once and keeps the top k (paper's
+// Greedy_Max).
+func GreedyMax(ev Evaluator, k int) []int { return core.GreedyMax(ev, k) }
+
+// Greedy1 ranks nodes by din·dout and keeps the top k (paper's Greedy_1).
+func Greedy1(g *Graph, k int) []int { return core.Greedy1(g, k) }
+
+// GreedyL iteratively places filters at the maximizer of Prefix(v)·dout(v)
+// (paper's Greedy_L).
+func GreedyL(ev Evaluator, k int) []int { return core.GreedyL(ev, k) }
+
+// GreedyLFast is GreedyL with incremental prefix maintenance (the paper's
+// "clever bookkeeping" running-time remark); identical output, updates
+// proportional to the affected cone instead of |E| per round.
+func GreedyLFast(ev Evaluator, k int) []int { return core.GreedyLFast(ev, k) }
+
+// RandK, RandI and RandW are the paper's randomized baselines.
+func RandK(m *Model, k int, rng *rand.Rand) []int { return core.RandK(m, k, rng) }
+
+// RandI places a filter at every node independently with probability k/n.
+func RandI(m *Model, k int, rng *rand.Rand) []int { return core.RandI(m, k, rng) }
+
+// RandW places filters with probability proportional to Σ_children 1/din.
+func RandW(m *Model, k int, rng *rand.Rand) []int { return core.RandW(m, k, rng) }
+
+// UnboundedOptimal returns Proposition 1's minimal filter set achieving the
+// maximum reduction F(V): every non-sink node with in-degree > 1.
+func UnboundedOptimal(g *Graph) []int { return core.UnboundedOptimal(g) }
+
+// Exhaustive finds an optimal size-≤k filter set by enumeration (small
+// instances only).
+func Exhaustive(ev Evaluator, k int) ([]int, float64) { return core.Exhaustive(ev, k) }
+
+// ErrNotCTree is returned by TreeDP on non-tree inputs.
+var ErrNotCTree = core.ErrNotCTree
+
+// TreeDP solves filter placement exactly on a communication tree
+// (polynomial; paper §4.1).
+func TreeDP(g *Graph, source, k int) ([]int, float64, error) { return core.TreeDP(g, source, k) }
+
+// AcyclicStats reports what the Acyclic extraction did.
+type AcyclicStats = acyclic.BuildStats
+
+// Acyclic extracts a connected maximal acyclic subgraph rooted at source
+// (paper §4.3).
+func Acyclic(g *Graph, source int) (*Graph, AcyclicStats, error) { return acyclic.Build(g, source) }
+
+// AcyclicBestRoot runs Acyclic from every node and keeps the largest DAG,
+// as the paper does for the Quote dataset.
+func AcyclicBestRoot(g *Graph) (*Graph, int, AcyclicStats, error) { return acyclic.BestRoot(g) }
+
+// Dataset generators (see internal/gen for the structural targets each one
+// matches).
+
+// QuoteLike generates the G_Phrase stand-in (932 nodes, ≈2.7K edges).
+func QuoteLike(seed int64) (*Graph, int) { return gen.QuoteLike(seed) }
+
+// TwitterLike generates the Twitter stand-in (≈90K nodes at scale 1).
+func TwitterLike(scale float64, seed int64) (*Graph, int) { return gen.TwitterLike(scale, seed) }
+
+// CitationLike generates the APS-citation stand-in (≈10K nodes).
+func CitationLike(seed int64) (*Graph, int) { return gen.CitationLike(seed) }
+
+// Layered generates the paper's layered synthetic graphs (§5).
+func Layered(levels, perLevel int, x, y float64, seed int64) (*Graph, int) {
+	return gen.Layered(levels, perLevel, x, y, seed)
+}
+
+// RandomDAG generates a connected random single-source DAG.
+func RandomDAG(n int, p float64, seed int64) (*Graph, int) { return gen.RandomDAG(n, p, seed) }
+
+// RandomCTree generates a random communication tree.
+func RandomCTree(n int, pSource float64, seed int64) (*Graph, int) {
+	return gen.RandomCTree(n, pSource, seed)
+}
+
+// PowerLawDAG generates a preferential-attachment DAG.
+func PowerLawDAG(n, edgesPerNode int, seed int64) (*Graph, int) {
+	return gen.PowerLawDAG(n, edgesPerNode, seed)
+}
+
+// BottleneckChain generates the paper's Figure-10 motif.
+func BottleneckChain(width, chainLen, depth int, seed int64) (*Graph, int) {
+	return gen.BottleneckChain(width, chainLen, depth, seed)
+}
+
+// Figure1, Figure2 and Figure3 rebuild the paper's toy graphs with their
+// exact copy counts.
+func Figure1() (*Graph, int) { return gen.Figure1() }
+
+// Figure2 rebuilds the Greedy_1 counterexample (Φ: 14 → 12).
+func Figure2() (*Graph, int) { return gen.Figure2() }
+
+// Figure3 rebuilds the Greedy_All suboptimality example (Φ(∅,V) = 26).
+func Figure3() (*Graph, []int) { return gen.Figure3() }
+
+// Extensions beyond the paper's core algorithms.
+
+// PartialEvaluator is implemented by evaluators supporting lossy filters
+// (paper footnote 1); NewFloat's engine is one.
+type PartialEvaluator = flow.PartialEvaluator
+
+// GreedyAllPartial places k lossy filters that each leak a ρ fraction of
+// duplicates.
+func GreedyAllPartial(ev PartialEvaluator, k int, leak float64) []int {
+	return core.GreedyAllPartial(ev, k, leak)
+}
+
+// Item is one information stream in a multi-item model (paper §3, §6).
+type Item = flow.Item
+
+// MultiEngine evaluates the rate-weighted multi-item objective; it
+// implements Evaluator, so every placement algorithm runs on it.
+type MultiEngine = flow.MultiEngine
+
+// NewMulti builds a multi-item evaluator; item sources may have in-edges.
+func NewMulti(g *Graph, items []Item) (*MultiEngine, error) { return flow.NewMulti(g, items) }
+
+// MCResult is a Monte-Carlo estimate of Φ(A, V) with a confidence
+// interval.
+type MCResult = flow.MCResult
+
+// MonteCarlo estimates Φ(A, V) under true probabilistic semantics (a
+// filter forwards the first copy it actually receives) by repeated
+// event-level simulation; see experiment abl-mc for the gap to the
+// analytic expected-value engine.
+func MonteCarlo(m *Model, filters []bool, runs int, seed int64) (MCResult, error) {
+	return flow.MonteCarlo(m, filters, runs, seed)
+}
+
+// Betweenness returns Brandes betweenness centrality for every node. The
+// paper's §2 argues (and experiment abl-between confirms) that central
+// nodes are generally poor filter locations.
+func Betweenness(g *Graph) []float64 { return centrality.Betweenness(g) }
+
+// BetweennessTopK returns the k most central nodes — the strawman baseline
+// of experiment abl-between.
+func BetweennessTopK(g *Graph, k int) []int { return centrality.TopK(g, k) }
+
+// Experiment harness.
+
+// ExperimentOptions configures RunExperiment.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is a printable experiment result.
+type ExperimentReport = experiments.Report
+
+// ExperimentIDs lists the reproducible experiments (fig1–fig11, prop1,
+// ablations).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one figure of the paper's evaluation.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, opt)
+}

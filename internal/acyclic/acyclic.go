@@ -1,0 +1,106 @@
+package acyclic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BuildStats reports what the Acyclic algorithm did.
+type BuildStats struct {
+	// Visited counts nodes reached by the phase-1 DFS; the paper observes
+	// that unvisited nodes never receive the item and are irrelevant.
+	Visited int
+	// TreeEdges counts phase-1 spanning-tree edges (all accepted).
+	TreeEdges int
+	// ExtraEdges counts phase-2 edges accepted without closing a cycle.
+	ExtraEdges int
+	// Rejected counts phase-2 edges that would have closed a cycle.
+	Rejected int
+}
+
+// Build runs the paper's Acyclic algorithm from the given source: first a
+// DFS spanning tree of the reachable portion of g, then every remaining
+// edge between visited nodes, in deterministic (u, then v) order, accepted
+// exactly when the subgraph stays acyclic. The result keeps g's node ids
+// (unreachable nodes become isolated) and is maximal: adding any rejected
+// edge would create a directed cycle.
+func Build(g *graph.Digraph, source int) (*graph.Digraph, BuildStats, error) {
+	var st BuildStats
+	if source < 0 || source >= g.N() {
+		return nil, st, fmt.Errorf("acyclic: source %d out of range [0,%d)", source, g.N())
+	}
+	tree := g.DFS(source)
+	inc := NewIncrementalDAG(g.N())
+	for _, e := range tree.TreeEdges() {
+		if !inc.AddEdge(e[0], e[1]) {
+			// Tree edges can never cycle; this would be a library bug.
+			panic("acyclic: DFS tree edge rejected")
+		}
+		st.TreeEdges++
+	}
+	for v := 0; v < g.N(); v++ {
+		if tree.Visited(v) {
+			st.Visited++
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if !tree.Visited(u) {
+			continue
+		}
+		for _, v := range g.Out(u) {
+			if !tree.Visited(v) || tree.Parent[v] == u {
+				continue
+			}
+			if inc.AddEdge(u, v) {
+				st.ExtraEdges++
+			} else {
+				st.Rejected++
+			}
+		}
+	}
+	b := graph.NewBuilder(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range inc.Out(u) {
+			b.AddEdge(u, v)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, st, err
+	}
+	if g.HasLabels() {
+		labels := make([]string, g.N())
+		for v := range labels {
+			labels[v] = g.Label(v)
+		}
+		out, _ = out.WithLabels(labels)
+	}
+	return out, st, nil
+}
+
+// BestRoot mirrors the paper's Quote-dataset procedure: when a c-graph has
+// no clear initiator, run Acyclic from every node and keep the largest
+// resulting DAG — largest by visited-node count, then by edge count, then
+// by smallest root id for determinism. The chosen root is the single source
+// of the returned DAG.
+func BestRoot(g *graph.Digraph) (*graph.Digraph, int, BuildStats, error) {
+	bestRoot := -1
+	var bestG *graph.Digraph
+	var bestStats BuildStats
+	for r := 0; r < g.N(); r++ {
+		dag, st, err := Build(g, r)
+		if err != nil {
+			return nil, -1, BuildStats{}, err
+		}
+		if bestRoot < 0 ||
+			st.Visited > bestStats.Visited ||
+			(st.Visited == bestStats.Visited && dag.M() > bestG.M()) {
+			bestRoot, bestG, bestStats = r, dag, st
+		}
+	}
+	if bestRoot < 0 {
+		return nil, -1, BuildStats{}, fmt.Errorf("acyclic: empty graph")
+	}
+	return bestG, bestRoot, bestStats, nil
+}

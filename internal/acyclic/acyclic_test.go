@@ -1,0 +1,212 @@
+package acyclic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIncrementalRejectsCycle(t *testing.T) {
+	d := NewIncrementalDAG(3)
+	if !d.AddEdge(0, 1) || !d.AddEdge(1, 2) {
+		t.Fatal("forward edges rejected")
+	}
+	if d.AddEdge(2, 0) {
+		t.Fatal("cycle-closing edge accepted")
+	}
+	if d.AddEdge(1, 1) {
+		t.Fatal("self-loop accepted")
+	}
+	// After rejection the structure still accepts consistent edges.
+	if !d.AddEdge(0, 2) {
+		t.Fatal("transitive edge rejected")
+	}
+}
+
+func TestIncrementalReorders(t *testing.T) {
+	// Insert edges against the identity order so the affected-region
+	// machinery must run: 2→1, 1→0.
+	d := NewIncrementalDAG(3)
+	if !d.AddEdge(2, 1) {
+		t.Fatal("2→1 rejected")
+	}
+	if !d.AddEdge(1, 0) {
+		t.Fatal("1→0 rejected")
+	}
+	if d.AddEdge(0, 2) {
+		t.Fatal("0→2 closes a cycle but was accepted")
+	}
+	ord := d.Order()
+	if !(ord[2] < ord[1] && ord[1] < ord[0]) {
+		t.Errorf("order not maintained: %v", ord)
+	}
+}
+
+func TestIncrementalDuplicateEdge(t *testing.T) {
+	d := NewIncrementalDAG(2)
+	if !d.AddEdge(0, 1) || !d.AddEdge(0, 1) {
+		t.Fatal("duplicate rejected")
+	}
+	if len(d.Out(0)) != 1 {
+		t.Errorf("duplicate stored: %v", d.Out(0))
+	}
+}
+
+func TestIncrementalRandomSequence(t *testing.T) {
+	// Property: after any insertion sequence, accepted edges form a DAG
+	// and ord is a topological order of them.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		d := NewIncrementalDAG(n)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 60; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if d.AddEdge(u, v) {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.MustBuild()
+		if !g.IsDAG() {
+			t.Logf("seed %d: accepted edges contain a cycle", seed)
+			return false
+		}
+		ord := d.Order()
+		for _, e := range g.Edges() {
+			if ord[e[0]] >= ord[e[1]] {
+				t.Logf("seed %d: ord violates edge %v", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildOnDAGKeepsEverything(t *testing.T) {
+	// On an already-acyclic input rooted at its source, nothing between
+	// visited nodes is rejected.
+	g, src := gen.RandomDAG(40, 0.15, 5)
+	dag, st, err := Build(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("rejected %d edges of a DAG", st.Rejected)
+	}
+	if dag.M() != g.M() {
+		t.Errorf("edges: got %d, want %d", dag.M(), g.M())
+	}
+	if st.Visited != g.N() {
+		t.Errorf("visited %d of %d", st.Visited, g.N())
+	}
+}
+
+func TestBuildProperties(t *testing.T) {
+	// On arbitrary digraphs: output is acyclic; contains a path from the
+	// source to every DFS-visited node; and is maximal — re-adding any
+	// rejected edge closes a cycle (checked via reachability).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 14 + int(rng.Int31n(10))
+		g := gen.RandomDigraph(n, 4*n, seed)
+		src := 0
+		dag, st, err := Build(g, src)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !dag.IsDAG() {
+			t.Logf("seed %d: output cyclic", seed)
+			return false
+		}
+		reach := g.Reachable(src)
+		dagReach := dag.Reachable(src)
+		for v := 0; v < n; v++ {
+			if reach[v] != dagReach[v] {
+				t.Logf("seed %d: reachability mismatch at %d", seed, v)
+				return false
+			}
+		}
+		// Maximality: every original edge between visited nodes is either
+		// present or would close a cycle (v already reaches u in dag).
+		for _, e := range g.Edges() {
+			u, v := e[0], e[1]
+			if !reach[u] || !reach[v] || dag.HasEdge(u, v) {
+				continue
+			}
+			if !dag.Reachable(v)[u] {
+				t.Logf("seed %d: edge (%d,%d) omitted but acyclic-addable", seed, u, v)
+				return false
+			}
+		}
+		// Stats add up.
+		if st.TreeEdges+st.ExtraEdges != dag.M() {
+			t.Logf("seed %d: stats %+v vs M=%d", seed, st, dag.M())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildBadSource(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}})
+	if _, _, err := Build(g, -1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, _, err := Build(g, 9); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestBestRoot(t *testing.T) {
+	// A 4-cycle with a pendant: every root sees all nodes of the cycle;
+	// roots on the cycle additionally reach the pendant.
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}})
+	dag, root, st, err := BestRoot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Visited != 5 {
+		t.Errorf("visited = %d, want 5", st.Visited)
+	}
+	if !dag.IsDAG() {
+		t.Error("BestRoot output cyclic")
+	}
+	// Exactly one edge of the 4-cycle must be dropped: 4 + 1 − 1 = 4.
+	if dag.M() != 4 {
+		t.Errorf("M = %d, want 4", dag.M())
+	}
+	if root != 0 {
+		// All cycle roots tie on visited count and edge count; id 0 wins.
+		t.Errorf("root = %d, want 0 (deterministic tie-break)", root)
+	}
+}
+
+func TestBestRootEmpty(t *testing.T) {
+	b := graph.NewBuilder(0)
+	g := b.MustBuild()
+	if _, _, _, err := BestRoot(g); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestBuildPreservesLabels(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 1}})
+	g, _ = g.WithLabels([]string{"a", "b", "c"})
+	dag, _, err := Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dag.HasLabels() || dag.Label(1) != "b" {
+		t.Error("labels lost through Build")
+	}
+}

@@ -1,0 +1,38 @@
+package acyclic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzIncrementalDAG feeds arbitrary edge-insertion sequences into the
+// Pearce–Kelly structure and checks its two invariants: the accepted edge
+// set is always acyclic, and the maintained order is a topological order of
+// it.
+func FuzzIncrementalDAG(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{5, 4, 4, 3, 3, 5, 0, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		d := NewIncrementalDAG(n)
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i]%n), int(data[i+1]%n)
+			if d.AddEdge(u, v) && u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.MustBuild()
+		if !g.IsDAG() {
+			t.Fatal("accepted edges contain a cycle")
+		}
+		ord := d.Order()
+		for _, e := range g.Edges() {
+			if ord[e[0]] >= ord[e[1]] {
+				t.Fatalf("order violates accepted edge %v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package acyclic implements the paper's Acyclic algorithm (§4.3): given an
+// arbitrary directed c-graph and a source, extract a connected, maximal
+// acyclic subgraph on which the DAG filter-placement algorithms can run.
+//
+// The algorithm keeps the paper's two phases — a DFS spanning tree rooted at
+// the source, then greedy augmentation with every remaining edge that does
+// not close a cycle — but replaces the paper's junction-signature test
+// (which assumes DFS on a digraph yields no non-tree forward edges, untrue
+// in general) with Pearce–Kelly incremental topological-order maintenance,
+// which is exact: an edge is accepted if and only if the subgraph stays
+// acyclic. The result is maximal with respect to the deterministic edge
+// scan order.
+package acyclic
+
+import "sort"
+
+// IncrementalDAG maintains a directed acyclic graph under edge insertions,
+// rejecting any insertion that would create a cycle. It implements the
+// Pearce–Kelly dynamic topological-ordering algorithm (ACM JEA 2006), whose
+// amortized cost per insertion is bounded by the size of the "affected
+// region" between the edge's endpoints.
+type IncrementalDAG struct {
+	out [][]int
+	in  [][]int
+	ord []int // ord[v] = position of v in the maintained topological order
+}
+
+// NewIncrementalDAG returns an empty DAG on n nodes with the identity
+// topological order.
+func NewIncrementalDAG(n int) *IncrementalDAG {
+	d := &IncrementalDAG{
+		out: make([][]int, n),
+		in:  make([][]int, n),
+		ord: make([]int, n),
+	}
+	for v := range d.ord {
+		d.ord[v] = v
+	}
+	return d
+}
+
+// N returns the node count.
+func (d *IncrementalDAG) N() int { return len(d.ord) }
+
+// Out returns the current out-neighbors of v (insertion order). The slice
+// aliases internal storage.
+func (d *IncrementalDAG) Out(v int) []int { return d.out[v] }
+
+// Order returns ord[v] for every v; it is always a valid topological order
+// of the accepted edges.
+func (d *IncrementalDAG) Order() []int { return append([]int(nil), d.ord...) }
+
+// AddEdge inserts (u, v) if doing so keeps the graph acyclic and reports
+// whether the edge was accepted. Self-loops are always rejected. Duplicate
+// edges are accepted (and stored once).
+func (d *IncrementalDAG) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	for _, w := range d.out[u] {
+		if w == v {
+			return true // already present
+		}
+	}
+	if d.ord[u] > d.ord[v] {
+		// Possible order violation: discover the affected region.
+		lb, ub := d.ord[v], d.ord[u]
+		deltaF, hitsU := d.forwardFrom(v, ub, u)
+		if hitsU {
+			return false // path v ⇝ u exists; (u,v) would close a cycle
+		}
+		deltaB := d.backwardFrom(u, lb)
+		d.reorder(deltaB, deltaF)
+	}
+	d.out[u] = append(d.out[u], v)
+	d.in[v] = append(d.in[v], u)
+	return true
+}
+
+// forwardFrom collects nodes reachable from start whose order index is at
+// most ub, reporting whether target was reached.
+func (d *IncrementalDAG) forwardFrom(start, ub, target int) ([]int, bool) {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	var visited []int
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited = append(visited, x)
+		for _, w := range d.out[x] {
+			if w == target {
+				return nil, true
+			}
+			if !seen[w] && d.ord[w] <= ub {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return visited, false
+}
+
+// backwardFrom collects nodes that reach start whose order index is at
+// least lb.
+func (d *IncrementalDAG) backwardFrom(start, lb int) []int {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	var visited []int
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited = append(visited, x)
+		for _, w := range d.in[x] {
+			if !seen[w] && d.ord[w] >= lb {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return visited
+}
+
+// reorder reassigns the order indices of the affected region so every node
+// that must precede comes first: the backward set (ancestors of u) takes
+// the smallest available indices in its existing relative order, followed
+// by the forward set (descendants of v).
+func (d *IncrementalDAG) reorder(deltaB, deltaF []int) {
+	byOrd := func(s []int) {
+		sort.Slice(s, func(i, j int) bool { return d.ord[s[i]] < d.ord[s[j]] })
+	}
+	byOrd(deltaB)
+	byOrd(deltaF)
+	nodes := append(append([]int(nil), deltaB...), deltaF...)
+	slots := make([]int, len(nodes))
+	for i, x := range nodes {
+		slots[i] = d.ord[x]
+	}
+	sort.Ints(slots)
+	for i, x := range nodes {
+		d.ord[x] = slots[i]
+	}
+}

@@ -1,0 +1,162 @@
+package acyclic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// sigEntry is one (junction, first child on path) pair of a node's
+// signature.
+type sigEntry struct{ w, firstChild int }
+
+// BuildSignature implements the paper's §4.3 Acyclic algorithm as written:
+// phase 1 builds a DFS spanning tree from the source; phase 2 decides every
+// remaining edge (u, v) with the junction-signature test — accept when the
+// deepest common junction w on the two root paths sends u and v into
+// different branches, i.e. σ(v) < σ(w_u1) ≤ σ(u) for w's first children
+// w_u1, w_v1 on the respective paths.
+//
+// The test turns out to be exact, by an argument the paper leaves implicit:
+// in a directed DFS every non-tree edge is either *forward* (to a
+// descendant; the paper's "no forward edges" remark overlooks these, but
+// they are harmless), *cross* (to a node whose subtree finished before the
+// tail was discovered), or *back* (to an ancestor). DFS finish time
+// strictly decreases along tree, forward, and cross edges, so any edge
+// subset excluding back edges is acyclic — and the junction condition holds
+// precisely for cross edges and fails precisely for back edges. The
+// resulting subgraph therefore equals the exact Pearce–Kelly construction
+// in Build ("drop exactly the back edges", which is also maximal);
+// TestSignatureEquivalentToExact and the abl-acyclic experiment verify the
+// equivalence empirically. SignatureStats.Cyclic is retained as a
+// tripwire: it would flag any input on which the equivalence argument
+// failed.
+func BuildSignature(g *graph.Digraph, source int) (*graph.Digraph, SignatureStats, error) {
+	var st SignatureStats
+	if source < 0 || source >= g.N() {
+		return nil, st, fmt.Errorf("acyclic: source %d out of range [0,%d)", source, g.N())
+	}
+	tree := g.DFS(source)
+	sigma := tree.Discovery
+
+	// Junctions: tree nodes with ≥ 2 tree children.
+	childCount := make([]int, g.N())
+	for _, p := range tree.Parent {
+		if p >= 0 {
+			childCount[p]++
+		}
+	}
+
+	// sign(u): for every junction w on the tree path source→u, the first
+	// child of w on that path. Built top-down in discovery order.
+	signs := make([][]sigEntry, g.N())
+	for _, v := range tree.Order {
+		p := tree.Parent[v]
+		if p < 0 {
+			continue
+		}
+		sig := signs[p]
+		if childCount[p] > 1 {
+			sig = append(append([]sigEntry(nil), sig...), sigEntry{p, v})
+		}
+		signs[v] = sig
+	}
+
+	b := graph.NewBuilder(g.N())
+	for _, e := range tree.TreeEdges() {
+		b.AddEdge(e[0], e[1])
+		st.TreeEdges++
+	}
+	for u := 0; u < g.N(); u++ {
+		if !tree.Visited(u) {
+			continue
+		}
+		for _, v := range g.Out(u) {
+			if !tree.Visited(v) || tree.Parent[v] == u {
+				continue
+			}
+			if sigma[u] < sigma[v] {
+				// Forward edge to a descendant (the case the paper's "no
+				// forward edges" remark overlooks): parallel to a tree
+				// path, always safe.
+				st.ForwardExtras++
+				b.AddEdge(u, v)
+				continue
+			}
+			if acceptBackward(signs[u], signs[v], sigma, u, v) {
+				st.Accepted++
+				b.AddEdge(u, v)
+			} else {
+				st.Rejected++
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, st, err
+	}
+	st.Cyclic = !out.IsDAG()
+	return out, st, nil
+}
+
+// SignatureStats reports the decisions of BuildSignature.
+type SignatureStats struct {
+	TreeEdges     int
+	Accepted      int // backward edges accepted by the junction test
+	ForwardExtras int // non-tree forward edges (the paper assumes none)
+	Rejected      int
+	// Cyclic records whether the produced subgraph contains a cycle —
+	// the failure mode the signature shortcut admits.
+	Cyclic bool
+}
+
+// acceptBackward runs the paper's test: find the junction w with the
+// largest σ(w) such that (w, wu1) ∈ sign(u) and (w, wv1) ∈ sign(v), then
+// accept iff σ(v) < σ(wu1) ≤ σ(u).
+func acceptBackward(su, sv []sigEntry, sigma []int, u, v int) bool {
+	// Signatures are root→node ordered; scan for the deepest shared w.
+	bestU, bestV := -1, -1
+	for i := len(su) - 1; i >= 0 && bestU < 0; i-- {
+		for j := len(sv) - 1; j >= 0; j-- {
+			if su[i].w == sv[j].w {
+				bestU, bestV = i, j
+				break
+			}
+		}
+	}
+	if bestU < 0 {
+		return false
+	}
+	wu1 := su[bestU].firstChild
+	wv1 := sv[bestV].firstChild
+	if wu1 == wv1 {
+		return false // same branch
+	}
+	return sigma[v] < sigma[wu1] && sigma[wu1] <= sigma[u]
+}
+
+// CompareOnRandom runs Build (exact) and BuildSignature (paper) on the same
+// input and reports edge counts and whether the signature output was
+// acyclic; used by the abl-acyclic experiment.
+type CompareResult struct {
+	ExactEdges     int
+	SignatureEdges int
+	SignatureOK    bool // acyclic output
+}
+
+// Compare runs both constructions from the same source.
+func Compare(g *graph.Digraph, source int) (CompareResult, error) {
+	exact, _, err := Build(g, source)
+	if err != nil {
+		return CompareResult{}, err
+	}
+	sig, st, err := BuildSignature(g, source)
+	if err != nil {
+		return CompareResult{}, err
+	}
+	return CompareResult{
+		ExactEdges:     exact.M(),
+		SignatureEdges: sig.M(),
+		SignatureOK:    !st.Cyclic,
+	}, nil
+}

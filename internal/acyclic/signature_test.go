@@ -1,0 +1,134 @@
+package acyclic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBuildSignatureOnDAG(t *testing.T) {
+	// On an already-acyclic single-source input the signature variant
+	// must at least produce an acyclic subgraph containing the tree.
+	g, src := gen.RandomDAG(30, 0.15, 9)
+	out, st, err := BuildSignature(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cyclic {
+		t.Fatal("cyclic output on a DAG input")
+	}
+	if out.M() < st.TreeEdges {
+		t.Error("tree edges missing")
+	}
+	if out.M() > g.M() {
+		t.Error("invented edges")
+	}
+}
+
+func TestBuildSignatureAcceptsCrossBranch(t *testing.T) {
+	// Junction j with two branches: j→a→b and j→c. Backward edge (c, b)?
+	// σ: s=0, j=1, a=2, b=3, c=4 (DFS ascending ids). Edge (c, a):
+	// junction j, wu1 = first child toward c = c(4)... condition
+	// σ(v)=2 < σ(wu1)=4 ≤ σ(u)=4 ✓ accepted: c and a in different
+	// branches, no cycle.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1) // s→j
+	b.AddEdge(1, 2) // j→a
+	b.AddEdge(2, 3) // a→b
+	b.AddEdge(1, 4) // j→c
+	b.AddEdge(4, 2) // c→a: the candidate backward edge
+	g := b.MustBuild()
+	out, st, err := BuildSignature(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasEdge(4, 2) {
+		t.Errorf("cross-branch edge rejected (stats %+v)", st)
+	}
+	if st.Cyclic {
+		t.Error("output cyclic")
+	}
+}
+
+func TestBuildSignatureRejectsSameBranch(t *testing.T) {
+	// Path s→a→b→c plus candidate (c, a): same branch (no junction), must
+	// be rejected — it would close a cycle.
+	g := graph.MustFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 1}})
+	out, st, err := BuildSignature(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HasEdge(3, 1) {
+		t.Error("cycle-closing edge accepted")
+	}
+	if st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestSignatureNeverBreaksTreeReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.RandomDigraph(20, 70, seed)
+		out, _, err := BuildSignature(g, 0)
+		if err != nil {
+			return false
+		}
+		want := g.Reachable(0)
+		got := out.Reachable(0)
+		for v := range want {
+			if want[v] != got[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureEquivalentToExact(t *testing.T) {
+	// The junction-signature test is exact (see the BuildSignature doc
+	// comment): both constructions drop exactly the DFS back edges, so
+	// their outputs must be identical edge sets on arbitrary digraphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + int(rng.Int31n(20))
+		g := gen.RandomDigraph(n, 5*n, seed)
+		exact, _, err := Build(g, 0)
+		if err != nil {
+			return false
+		}
+		sig, st, err := BuildSignature(g, 0)
+		if err != nil {
+			return false
+		}
+		if st.Cyclic {
+			t.Logf("seed %d: signature output cyclic", seed)
+			return false
+		}
+		if !reflect.DeepEqual(exact.Edges(), sig.Edges()) {
+			t.Logf("seed %d: edge sets differ (%d vs %d edges)", seed, exact.M(), sig.M())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReportsEquivalence(t *testing.T) {
+	g := gen.RandomDigraph(40, 200, 11)
+	res, err := Compare(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SignatureOK || res.SignatureEdges != res.ExactEdges {
+		t.Errorf("Compare = %+v, want equal acyclic outputs", res)
+	}
+}

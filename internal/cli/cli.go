@@ -1,0 +1,313 @@
+// Package cli implements the three command-line tools (fpexp, fpgen,
+// fpplace) as testable functions: each Run* takes an argument vector and
+// output writers and returns an error instead of exiting, so the thin
+// main() wrappers in cmd/ stay one line and the behaviour is covered by
+// unit tests.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/acyclic"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// RunFpexp is the fpexp command: run paper-reproduction experiments.
+func RunFpexp(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp   = fs.String("exp", "all", "experiment id to run, comma-separated ids, or 'all'")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		seed  = fs.Int64("seed", 1, "random seed for generators and baselines")
+		reps  = fs.Int("reps", 0, "repetitions for randomized baselines (default: 25, or 5 with -quick)")
+		quick = fs.Bool("quick", false, "shrink datasets for a fast smoke run")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot  = fs.Bool("plot", false, "also draw FR figures as ASCII plots")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+	opt := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(strings.TrimSpace(id), opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprintf(stdout, "# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+			continue
+		}
+		fmt.Fprintln(stdout, rep)
+		if *plot && rep.Plot != "" {
+			fmt.Fprintln(stdout, rep.Plot)
+		}
+	}
+	return nil
+}
+
+// RunFpgen is the fpgen command: generate datasets as edge-list files.
+func RunFpgen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataset  = fs.String("dataset", "", "quote | twitter | citation | layered | dag | powerlaw | tree | fig1 | fig2 | fig3")
+		out      = fs.String("out", "-", "output file ('-' for stdout)")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		scale    = fs.Float64("scale", 1, "twitter: level-size scale in (0,1]")
+		x        = fs.Float64("x", 1, "layered: edge-probability numerator")
+		y        = fs.Float64("y", 4, "layered: edge-probability base")
+		levels   = fs.Int("levels", 10, "layered: number of levels")
+		perLevel = fs.Int("perlevel", 100, "layered: expected nodes per level")
+		n        = fs.Int("n", 1000, "dag/powerlaw/tree: node count")
+		p        = fs.Float64("p", 0.01, "dag: edge probability; tree: source-link probability")
+		epn      = fs.Int("epn", 3, "powerlaw: average edges per node")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Digraph
+	var sources []int
+	single := func(gg *graph.Digraph, s int) {
+		g, sources = gg, []int{s}
+	}
+	switch *dataset {
+	case "quote":
+		single(gen.QuoteLike(*seed))
+	case "twitter":
+		if *scale <= 0 || *scale > 1 {
+			return fmt.Errorf("fpgen: -scale %v outside (0,1]", *scale)
+		}
+		single(gen.TwitterLike(*scale, *seed))
+	case "citation":
+		single(gen.CitationLike(*seed))
+	case "layered":
+		single(gen.Layered(*levels, *perLevel, *x, *y, *seed))
+	case "dag":
+		single(gen.RandomDAG(*n, *p, *seed))
+	case "powerlaw":
+		single(gen.PowerLawDAG(*n, *epn, *seed))
+	case "tree":
+		single(gen.RandomCTree(*n, *p, *seed))
+	case "fig1":
+		single(gen.Figure1())
+	case "fig2":
+		single(gen.Figure2())
+	case "fig3":
+		gg, ss := gen.Figure3()
+		g, sources = gg, ss
+	default:
+		return fmt.Errorf("fpgen: unknown dataset %q", *dataset)
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("fpgen: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		return fmt.Errorf("fpgen: %w", err)
+	}
+	fmt.Fprintf(stderr, "fpgen: %d nodes, %d edges, source(s) %v\n", g.N(), g.M(), sources)
+	return nil
+}
+
+// RunFpplace is the fpplace command: place filters on an edge-list graph.
+func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpplace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "edge-list input file ('-' for stdin)")
+		k         = fs.Int("k", 10, "filter budget")
+		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | celf | randk | randi | randw | prop1 | tree")
+		engine    = fs.String("engine", "float", "float | big (exact)")
+		source    = fs.Int("source", -1, "source node id (-1: all in-degree-0 nodes, or best root with -acyclic)")
+		acyclicF  = fs.Bool("acyclic", false, "extract a maximal acyclic subgraph first (paper §4.3)")
+		seed      = fs.Int64("seed", 1, "seed for randomized baselines")
+		quiet     = fs.Bool("q", false, "print only the filter node list")
+		showStats = fs.Bool("stats", false, "print graph degree statistics")
+		impacts   = fs.Bool("impacts", false, "print the per-node impact table instead of placing filters")
+		weighted  = fs.Bool("weighted", false, "input is 'u v p' with relay probabilities (probabilistic model; float engine only)")
+		dotOut    = fs.String("dot", "", "also write a Graphviz DOT file with the placement highlighted")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("fpplace: -in is required")
+	}
+
+	var g *graph.Digraph
+	var weightFn func(u, v int) float64
+	var err error
+	read := func(r io.Reader) {
+		if *weighted {
+			g, weightFn, err = graph.ReadWeightedEdgeList(r)
+		} else {
+			g, err = graph.ReadEdgeList(r)
+		}
+	}
+	if *in == "-" {
+		read(stdin)
+	} else {
+		var f *os.File
+		f, err = os.Open(*in)
+		if err == nil {
+			read(f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("fpplace: %w", err)
+	}
+	if *weighted && (*acyclicF || *engine == "big") {
+		return fmt.Errorf("fpplace: -weighted requires the float engine and an acyclic input")
+	}
+	sources := []int{}
+	if *source >= 0 {
+		sources = []int{*source}
+	}
+
+	if *acyclicF {
+		var st acyclic.BuildStats
+		if *source >= 0 {
+			g, st, err = acyclic.Build(g, *source)
+		} else {
+			var root int
+			g, root, st, err = acyclic.BestRoot(g)
+			sources = []int{root}
+			if err == nil {
+				fmt.Fprintf(stderr, "fpplace: best acyclic root = %s\n", g.Label(root))
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+		fmt.Fprintf(stderr, "fpplace: acyclic: visited %d nodes, %d tree + %d extra edges, %d rejected\n",
+			st.Visited, st.TreeEdges, st.ExtraEdges, st.Rejected)
+	}
+
+	if *showStats {
+		ins, outs := g.InDegreeStats(), g.OutDegreeStats()
+		fmt.Fprintf(stderr, "fpplace: %d nodes, %d edges; indeg mean %.2f max %d; outdeg mean %.2f max %d; %d sinks\n",
+			g.N(), g.M(), ins.Mean, ins.Max, outs.Mean, outs.Max, len(g.Sinks()))
+	}
+
+	m, err := flow.NewModel(g, sources)
+	if err != nil {
+		return fmt.Errorf("fpplace: %w", err)
+	}
+	if weightFn != nil {
+		m = m.WithWeights(weightFn)
+	}
+	var ev flow.Evaluator
+	switch *engine {
+	case "float":
+		ev = flow.NewFloat(m)
+	case "big":
+		ev = flow.NewBig(m)
+	default:
+		return fmt.Errorf("fpplace: unknown engine %q", *engine)
+	}
+
+	if *impacts {
+		fmt.Fprintln(stdout, "node  impact")
+		for v, gn := range ev.Impacts(nil) {
+			if gn > 0 {
+				fmt.Fprintf(stdout, "%-5s %.6g\n", g.Label(v), gn)
+			}
+		}
+		return nil
+	}
+
+	var filters []int
+	rng := rand.New(rand.NewSource(*seed))
+	switch *algo {
+	case "gall":
+		filters = core.GreedyAll(ev, *k)
+	case "celf":
+		filters, _ = core.GreedyAllCELF(ev, *k)
+	case "gmax":
+		filters = core.GreedyMax(ev, *k)
+	case "g1":
+		filters = core.Greedy1(g, *k)
+	case "gl":
+		filters = core.GreedyL(ev, *k)
+	case "randk":
+		filters = core.RandK(m, *k, rng)
+	case "randi":
+		filters = core.RandI(m, *k, rng)
+	case "randw":
+		filters = core.RandW(m, *k, rng)
+	case "prop1":
+		filters = core.UnboundedOptimal(g)
+	case "tree":
+		if len(m.Sources()) != 1 {
+			return fmt.Errorf("fpplace: tree DP needs exactly one source, have %d", len(m.Sources()))
+		}
+		filters, _, err = core.TreeDP(g, m.Sources()[0], *k)
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+	default:
+		return fmt.Errorf("fpplace: unknown algorithm %q", *algo)
+	}
+
+	mask := flow.MaskOf(g.N(), filters)
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+		err = graph.WriteDOT(f, g, "placement", mask)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+	}
+	if *quiet {
+		for _, v := range filters {
+			fmt.Fprintln(stdout, g.Label(v))
+		}
+		return nil
+	}
+	fmt.Fprintf(stdout, "algorithm:  %s\n", *algo)
+	fmt.Fprintf(stdout, "filters:    %d", len(filters))
+	if len(filters) > 0 {
+		fmt.Fprintf(stdout, " →")
+		for _, v := range filters {
+			fmt.Fprintf(stdout, " %s", g.Label(v))
+		}
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "Φ(∅,V):     %.6g\n", ev.Phi(nil))
+	fmt.Fprintf(stdout, "Φ(A,V):     %.6g\n", ev.Phi(mask))
+	fmt.Fprintf(stdout, "F(A):       %.6g\n", ev.F(mask))
+	fmt.Fprintf(stdout, "FR(A):      %.4f\n", flow.FR(ev, mask))
+	return nil
+}

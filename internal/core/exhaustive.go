@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/flow"
+)
+
+// Exhaustive finds an optimal filter set of size at most k by enumerating
+// all candidate subsets. It is exponential and intended for validating the
+// approximation algorithms on small instances (the paper's Figures 2 and 3
+// style examples); candidates are restricted to non-source nodes with
+// outgoing edges, which is lossless because a filter at a source or a sink
+// never changes any copy count. Ties are broken toward the
+// lexicographically smallest node set, making the result deterministic.
+func Exhaustive(ev flow.Evaluator, k int) ([]int, float64) {
+	m := ev.Model()
+	g := m.Graph()
+	var cands []int
+	for v := 0; v < m.N(); v++ {
+		if !m.IsSource(v) && g.OutDegree(v) > 0 && g.InDegree(v) > 0 {
+			cands = append(cands, v)
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	filters := make([]bool, m.N())
+	best := make([]int, 0, k)
+	bestF := 0.0 // F(∅) = 0
+
+	var rec func(start, remaining int, cur []int)
+	rec = func(start, remaining int, cur []int) {
+		// Evaluate the current (possibly partial) set: monotonicity means
+		// supersets only improve, but evaluating every prefix lets the
+		// enumeration double as a "≤ k" search at no asymptotic cost.
+		f := ev.F(filters)
+		if f > bestF {
+			bestF = f
+			best = append(best[:0], cur...)
+		}
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			v := cands[i]
+			filters[v] = true
+			rec(i+1, remaining-1, append(cur, v))
+			filters[v] = false
+		}
+	}
+	rec(0, k, nil)
+	return append([]int(nil), best...), bestF
+}

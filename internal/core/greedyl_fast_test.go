@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/gen"
+)
+
+func TestGreedyLFastMatchesGreedyL(t *testing.T) {
+	f := func(seed int64) bool {
+		g, src := gen.RandomDAG(40, 0.12, seed)
+		ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+		a := GreedyL(ev, 6)
+		b := GreedyLFast(ev, 6)
+		if !reflect.DeepEqual(a, b) {
+			t.Logf("seed %d: plain %v vs fast %v", seed, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyLFastOnDatasets(t *testing.T) {
+	for name, mk := range map[string]func() (*flow.Model, error){
+		"quote": func() (*flow.Model, error) {
+			g, s := gen.QuoteLike(1)
+			return flow.NewModel(g, []int{s})
+		},
+		"citation": func() (*flow.Model, error) {
+			g, s := gen.CitationLike(1)
+			return flow.NewModel(g, []int{s})
+		},
+		"twitter-small": func() (*flow.Model, error) {
+			g, s := gen.TwitterLike(0.02, 1)
+			return flow.NewModel(g, []int{s})
+		},
+	} {
+		m, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ev := flow.NewFloat(m)
+		a := GreedyL(ev, 10)
+		b := GreedyLFast(ev, 10)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: plain %v vs fast %v", name, a, b)
+		}
+	}
+}
+
+func TestGreedyLFastWeightedFallback(t *testing.T) {
+	g, src := gen.RandomDAG(30, 0.15, 2)
+	m := flow.MustModel(g, []int{src}).WithWeights(func(u, v int) float64 { return 0.8 })
+	ev := flow.NewFloat(m)
+	a := GreedyL(ev, 4)
+	b := GreedyLFast(ev, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("weighted fallback differs: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkGreedyLPlain(b *testing.B) {
+	g, src := gen.CitationLike(1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyL(ev, 10)
+	}
+}
+
+func BenchmarkGreedyLFast(b *testing.B) {
+	g, src := gen.CitationLike(1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyLFast(ev, 10)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/flow"
+)
+
+// GreedyAllPartial is Greedy_All for lossy filters (paper footnote 1):
+// each placed filter forwards the first copy plus a `leak` fraction of the
+// duplicates. The objective remains monotone and submodular in the filter
+// set (each node's emission is a fixed concave interpolation between
+// filtered and unfiltered behaviour), so the greedy retains its guarantee.
+// Only the float engine supports partial semantics.
+func GreedyAllPartial(ev flow.PartialEvaluator, k int, leak float64) []int {
+	m := ev.Model()
+	n := m.N()
+	filters := make([]bool, n)
+	chosen := make([]int, 0, k)
+	for len(chosen) < k {
+		gains := ev.ImpactsPartial(filters, leak)
+		best, bestGain := -1, 0.0
+		for v, gn := range gains {
+			if filters[v] {
+				continue
+			}
+			if gn > bestGain {
+				best, bestGain = v, gn
+			}
+		}
+		if best < 0 {
+			break
+		}
+		filters[best] = true
+		chosen = append(chosen, best)
+	}
+	return chosen
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Communication trees (paper §4.1). A c-tree is a c-graph that becomes a
+// forest of out-trees when the source node is removed: every non-source
+// node has at most one non-source parent, and may additionally receive
+// directly from the source. On c-trees FP is solvable exactly in polynomial
+// time by dynamic programming.
+//
+// The paper sketches a recursion over a binarized tree; we implement an
+// equivalent exact DP directly on the c-tree with state (node, budget,
+// incoming), where incoming is the copy count arriving over the tree edge.
+// Incoming counts are bounded by tree height + 1 (each tree hop adds at most
+// the one extra copy injected by the source), so the state space is
+// O(n · k · height) and each state distributes its budget over the node's
+// children with an inner knapsack.
+
+// ErrNotCTree is returned by TreeDP when the graph is not a communication
+// tree with respect to the given source.
+var ErrNotCTree = errors.New("core: graph is not a c-tree for the given source")
+
+type cTree struct {
+	g        *graph.Digraph
+	source   int
+	fromSrc  []bool  // fromSrc[v]: edge source→v exists
+	children [][]int // tree children (out-neighbors), excluding the source's
+	roots    []int   // nodes with no tree parent
+}
+
+func newCTree(g *graph.Digraph, source int) (*cTree, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, g.N())
+	}
+	if g.InDegree(source) != 0 {
+		return nil, fmt.Errorf("%w: source has in-degree %d", ErrNotCTree, g.InDegree(source))
+	}
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("%w: graph is cyclic", ErrNotCTree)
+	}
+	t := &cTree{
+		g:        g,
+		source:   source,
+		fromSrc:  make([]bool, g.N()),
+		children: make([][]int, g.N()),
+	}
+	for _, v := range g.Out(source) {
+		t.fromSrc[v] = true
+	}
+	hasParent := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if v == source {
+			continue
+		}
+		treeParents := 0
+		for _, p := range g.In(v) {
+			if p != source {
+				treeParents++
+			}
+		}
+		if treeParents > 1 {
+			return nil, fmt.Errorf("%w: node %d has %d tree parents", ErrNotCTree, v, treeParents)
+		}
+		hasParent[v] = treeParents == 1
+		t.children[v] = g.Out(v)
+	}
+	for v := 0; v < g.N(); v++ {
+		if v != source && !hasParent[v] {
+			t.roots = append(t.roots, v)
+		}
+	}
+	return t, nil
+}
+
+// dpKey identifies a subproblem: optimal filtering of the subtree rooted at
+// v with the given budget when v receives `in` copies over its tree edge.
+type dpKey struct {
+	v, budget, in int
+}
+
+type treeSolver struct {
+	t    *cTree
+	memo map[dpKey]int64
+}
+
+// cost returns the minimum achievable Σ Φ over the subtree rooted at v.
+func (s *treeSolver) cost(v, budget, in int) int64 {
+	key := dpKey{v, budget, in}
+	if c, ok := s.memo[key]; ok {
+		return c
+	}
+	rec := in
+	if s.t.fromSrc[v] {
+		rec++
+	}
+	best := int64(rec) + s.splitChildren(v, budget, rec)
+	if budget > 0 && rec > 1 {
+		if c := int64(rec) + s.splitChildren(v, budget-1, 1); c < best {
+			best = c
+		}
+	}
+	s.memo[key] = best
+	return best
+}
+
+// splitChildren distributes budget filters over v's children minimizing the
+// summed subtree cost when v emits `emit` copies to each child.
+func (s *treeSolver) splitChildren(v, budget, emit int) int64 {
+	kids := s.t.children[v]
+	if len(kids) == 0 {
+		return 0
+	}
+	// dp[b] = best cost of the children processed so far using b filters.
+	const inf = int64(1) << 62
+	dp := make([]int64, budget+1)
+	next := make([]int64, budget+1)
+	for i := range dp {
+		dp[i] = 0
+	}
+	for _, c := range kids {
+		for b := 0; b <= budget; b++ {
+			next[b] = inf
+			for bc := 0; bc <= b; bc++ {
+				if v := dp[b-bc] + s.cost(c, bc, emit); v < next[b] {
+					next[b] = v
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	return dp[budget]
+}
+
+// extract rebuilds one optimal filter set by replaying decisions against the
+// memo table.
+func (s *treeSolver) extract(v, budget, in int, out *[]int) {
+	rec := in
+	if s.t.fromSrc[v] {
+		rec++
+	}
+	total := s.cost(v, budget, in)
+	if budget > 0 && rec > 1 && total == int64(rec)+s.splitChildren(v, budget-1, 1) {
+		*out = append(*out, v)
+		s.extractSplit(s.t.children[v], budget-1, 1, out)
+		return
+	}
+	s.extractSplit(s.t.children[v], budget, rec, out)
+}
+
+// extractSplit replays the knapsack over children, assigning each child the
+// budget share consistent with the memoized optimum.
+func (s *treeSolver) extractSplit(kids []int, budget, emit int, out *[]int) {
+	if len(kids) == 0 {
+		return
+	}
+	// suffixCost(i, b): best cost for kids[i:] with b filters. Recompute
+	// with a small memo local to this call; trees in scope are modest.
+	type sk struct{ i, b int }
+	memo := map[sk]int64{}
+	var suffixCost func(i, b int) int64
+	suffixCost = func(i, b int) int64 {
+		if i == len(kids) {
+			return 0
+		}
+		if c, ok := memo[sk{i, b}]; ok {
+			return c
+		}
+		best := int64(1) << 62
+		for bc := 0; bc <= b; bc++ {
+			if v := s.cost(kids[i], bc, emit) + suffixCost(i+1, b-bc); v < best {
+				best = v
+			}
+		}
+		memo[sk{i, b}] = best
+		return best
+	}
+	b := budget
+	for i := range kids {
+		want := suffixCost(i, b)
+		for bc := 0; bc <= b; bc++ {
+			if s.cost(kids[i], bc, emit)+suffixCost(i+1, b-bc) == want {
+				s.extract(kids[i], bc, emit, out)
+				b -= bc
+				break
+			}
+		}
+	}
+}
+
+// TreeDP solves FP exactly on a communication tree. It returns an optimal
+// filter set of size at most k and the achieved objective value F(A) (as a
+// float; copy counts on trees are bounded by n·(height+2), far from
+// overflow). It returns ErrNotCTree when the graph is not a c-tree with
+// respect to source.
+func TreeDP(g *graph.Digraph, source, k int) ([]int, float64, error) {
+	t, err := newCTree(g, source)
+	if err != nil {
+		return nil, 0, err
+	}
+	if k < 0 {
+		return nil, 0, fmt.Errorf("core: negative filter budget %d", k)
+	}
+	s := &treeSolver{t: t, memo: make(map[dpKey]int64)}
+
+	// Φ(∅): cost with zero budget.
+	phiEmpty := int64(0)
+	for _, r := range t.roots {
+		phiEmpty += s.cost(r, 0, 0)
+	}
+	// Optimal Φ(A): distribute k over the root forest.
+	type sk struct{ i, b int }
+	memo := map[sk]int64{}
+	var forestCost func(i, b int) int64
+	forestCost = func(i, b int) int64 {
+		if i == len(t.roots) {
+			return 0
+		}
+		if c, ok := memo[sk{i, b}]; ok {
+			return c
+		}
+		best := int64(1) << 62
+		for bc := 0; bc <= b; bc++ {
+			if v := s.cost(t.roots[i], bc, 0) + forestCost(i+1, b-bc); v < best {
+				best = v
+			}
+		}
+		memo[sk{i, b}] = best
+		return best
+	}
+	phiOpt := forestCost(0, k)
+
+	var filters []int
+	b := k
+	for i := range t.roots {
+		want := forestCost(i, b)
+		for bc := 0; bc <= b; bc++ {
+			if s.cost(t.roots[i], bc, 0)+forestCost(i+1, b-bc) == want {
+				s.extract(t.roots[i], bc, 0, &filters)
+				b -= bc
+				break
+			}
+		}
+	}
+	return filters, float64(phiEmpty - phiOpt), nil
+}

@@ -1,0 +1,88 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5): the in-degree CDFs (Figures 4 and 6), the Filter-Ratio-vs-k curves
+// for the synthetic and real-like datasets (Figures 5, 7, 8, 9), the toy
+// worked examples (Figures 1–3), the Figure-10 bottleneck motif, the
+// running-time comparison (Figure 11), plus Proposition 1 and this
+// reproduction's own ablations (CELF laziness, exact-vs-float engines,
+// probabilistic propagation). Each experiment produces a Report whose rows
+// are the same series the paper plots.
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// Algorithm is a named filter-placement strategy in the paper's legend
+// form.
+type Algorithm struct {
+	// Name as in the paper's figure legends (G_ALL, G_Max, G_1, G_L,
+	// Rand_W, Rand_I, Rand_K).
+	Name string
+	// Place returns up to k filter nodes. rng is consulted only when
+	// Randomized.
+	Place func(ev flow.Evaluator, k int, rng *rand.Rand) []int
+	// Randomized marks the baselines that must be averaged over runs.
+	Randomized bool
+	// Incremental marks algorithms whose length-i output prefix equals
+	// their budget-i output, letting FR curves reuse one placement.
+	Incremental bool
+}
+
+// StandardAlgorithms returns the paper's seven algorithms in legend order.
+func StandardAlgorithms() []Algorithm {
+	return []Algorithm{
+		{
+			Name:        "G_ALL",
+			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyAll(ev, k) },
+			Incremental: true,
+		},
+		{
+			Name:        "G_Max",
+			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyMax(ev, k) },
+			Incremental: true,
+		},
+		{
+			Name:        "G_1",
+			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.Greedy1(ev.Model().Graph(), k) },
+			Incremental: true,
+		},
+		{
+			// GreedyLFast implements the paper's "clever bookkeeping"
+			// remark; output is identical to plain Greedy_L.
+			Name:        "G_L",
+			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyLFast(ev, k) },
+			Incremental: true,
+		},
+		{
+			Name:       "Rand_W",
+			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandW(ev.Model(), k, rng) },
+			Randomized: true,
+		},
+		{
+			Name:       "Rand_I",
+			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandI(ev.Model(), k, rng) },
+			Randomized: true,
+		},
+		{
+			Name:       "Rand_K",
+			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandK(ev.Model(), k, rng) },
+			Randomized: true,
+		},
+	}
+}
+
+// GreedyAlgorithms returns only the four deterministic algorithms, the set
+// the paper times in Figure 11.
+func GreedyAlgorithms() []Algorithm {
+	all := StandardAlgorithms()
+	var out []Algorithm
+	for _, a := range all {
+		if !a.Randomized {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/gen"
+)
+
+func quickOpt() Options {
+	return Options{Seed: 1, Quick: true, Reps: 5}.withDefaults()
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("no-such-experiment", quickOpt()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"abl-acyclic", "abl-between", "abl-celf", "abl-dom", "abl-engine",
+		"abl-leaky", "abl-mc", "abl-multi", "abl-prob", "abl-tree",
+		"fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig5a", "fig5b",
+		"fig6", "fig7", "fig8", "fig9", "prop1",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	// Smoke: every registered experiment runs in quick mode and renders.
+	for _, id := range IDs() {
+		rep, err := Run(id, quickOpt())
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		out := rep.String()
+		if !strings.Contains(out, rep.Title) {
+			t.Errorf("%s: render missing title", id)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		if csv := rep.CSV(); !strings.Contains(csv, rep.Header[0]) {
+			t.Errorf("%s: CSV missing header", id)
+		}
+	}
+}
+
+func TestFig1Numbers(t *testing.T) {
+	rep, err := Run("fig1", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w's row: 4 copies without filters, 3 with the z2 filter.
+	found := false
+	for _, row := range rep.Rows {
+		if row[0] == "w" {
+			found = true
+			if row[1] != "4" || row[2] != "3" {
+				t.Errorf("w row = %v, want copies 4 → 3", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("row for w missing")
+	}
+}
+
+func TestFig7QuotePerfectFilteringAtFour(t *testing.T) {
+	// The paper's headline for G_Phrase: four filters achieve perfect
+	// redundancy elimination, with the greedy family ahead of the random
+	// baselines.
+	g, src := gen.QuoteLike(1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "quote", Ks(10, 1), StandardAlgorithms(), 5, 1)
+	if p, ok := res.At("G_ALL", 4); !ok || p.FR < 0.9999 {
+		t.Errorf("G_ALL at k=4: FR = %v, want 1", p.FR)
+	}
+	if p, ok := res.At("G_Max", 4); !ok || p.FR < 0.9999 {
+		t.Errorf("G_Max at k=4: FR = %v, want 1", p.FR)
+	}
+	// Random baselines are nowhere near perfect at k = 4.
+	for _, name := range []string{"Rand_K", "Rand_I"} {
+		if p, ok := res.At(name, 4); !ok || p.FR > 0.6 {
+			t.Errorf("%s at k=4: FR = %v, want well below the greedy family", name, p.FR)
+		}
+	}
+	// Monotone non-decreasing curves for incremental algorithms.
+	for _, s := range res.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].FR < s.Points[i-1].FR-1e-9 && !algoRandomized(s.Algorithm) {
+				t.Errorf("%s: FR decreased at k=%d", s.Algorithm, s.Points[i].K)
+			}
+		}
+	}
+}
+
+func algoRandomized(name string) bool { return strings.HasPrefix(name, "Rand") }
+
+func TestFig8TwitterPerfectFilteringAtSix(t *testing.T) {
+	g, root := gen.TwitterLike(0.02, 1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{root}))
+	res := FRCurves(ev, "twitter", Ks(10, 1), StandardAlgorithms(), 5, 1)
+	if p, ok := res.At("G_ALL", 6); !ok || p.FR < 0.9999 {
+		t.Errorf("G_ALL at k=6: FR = %v, want 1 (six amplifiers)", p.FR)
+	}
+	if p, ok := res.At("G_Max", 10); !ok || p.FR < 0.9999 {
+		t.Errorf("G_Max at k=10: FR = %v, want 1", p.FR)
+	}
+	if p, ok := res.At("G_1", 10); !ok || p.FR < 0.9999 {
+		t.Errorf("G_1 at k=10: FR = %v, want 1", p.FR)
+	}
+	// G_L converges more slowly (the paper's observation) but still gets
+	// most of the way by k = 10.
+	if p, ok := res.At("G_L", 10); !ok || p.FR < 0.8 {
+		t.Errorf("G_L at k=10: FR = %v, want ≥ 0.8", p.FR)
+	}
+}
+
+func TestFig9CitationShape(t *testing.T) {
+	g, src := gen.CitationLike(1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "citation", Ks(10, 1), GreedyAlgorithms(), 1, 1)
+	// G_ALL dominates G_Max at every k.
+	for k := 0; k <= 10; k++ {
+		a, _ := res.At("G_ALL", k)
+		m, _ := res.At("G_Max", k)
+		if a.FR < m.FR-1e-9 {
+			t.Errorf("k=%d: G_ALL %v < G_Max %v", k, a.FR, m.FR)
+		}
+	}
+	// The bottleneck chain makes G_Max flat: from k=2 to k=10 it gains
+	// almost nothing, while G_ALL keeps improving.
+	m2, _ := res.At("G_Max", 2)
+	m10, _ := res.At("G_Max", 10)
+	a2, _ := res.At("G_ALL", 2)
+	a10, _ := res.At("G_ALL", 10)
+	if gainMax, gainAll := m10.FR-m2.FR, a10.FR-a2.FR; gainMax > gainAll {
+		t.Errorf("G_Max plateau missing: ΔG_Max = %v vs ΔG_ALL = %v", gainMax, gainAll)
+	}
+	if a10.FR < 0.9 {
+		t.Errorf("G_ALL final FR = %v, want ≥ 0.9", a10.FR)
+	}
+}
+
+func TestFig5SyntheticGradual(t *testing.T) {
+	// Dense layered graphs: gradual FR growth, no algorithm close to
+	// perfect with few filters (the paper's contrast with real data).
+	g, src := gen.Layered(10, 30, 1, 4, 1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "layered", Ks(12, 3), GreedyAlgorithms(), 1, 1)
+	p4, _ := res.At("G_ALL", 3)
+	if p4.FR > 0.5 {
+		t.Errorf("G_ALL at k=3 on dense synthetic: FR = %v, want ≤ 0.5 (gradual curve)", p4.FR)
+	}
+	// But more filters keep helping.
+	p12, _ := res.At("G_ALL", 12)
+	if p12.FR <= p4.FR {
+		t.Errorf("no gradual improvement: %v → %v", p4.FR, p12.FR)
+	}
+}
+
+func TestFig10MotifPlateau(t *testing.T) {
+	g, src := gen.BottleneckChain(10, 9, 6, 1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	gateway, chain := gen.ChainNodes(10, 9)
+	imp := ev.Impacts(nil)
+	// Every chain node's unfiltered impact is large...
+	for _, c := range chain {
+		if imp[c] <= 0 {
+			t.Errorf("chain node %d impact = %v, want > 0", c, imp[c])
+		}
+	}
+	// ...but collapses once the gateway is filtered.
+	impG := ev.Impacts(flow.MaskOf(g.N(), []int{gateway}))
+	for _, c := range chain {
+		if impG[c] != 0 {
+			t.Errorf("chain node %d impact after gateway = %v, want 0", c, impG[c])
+		}
+	}
+	// G_Max's first ten picks are the gateway and chain, so its FR equals
+	// its k=1 FR for all k ≤ 10; G_ALL reaches FR = 1 at k = 1.
+	res := FRCurves(ev, "motif", Ks(10, 1), GreedyAlgorithms(), 1, 1)
+	a1, _ := res.At("G_ALL", 1)
+	if a1.FR < 0.9999 {
+		t.Errorf("G_ALL at k=1: FR = %v, want 1 (gateway is the whole Prop-1 set)", a1.FR)
+	}
+	m1, _ := res.At("G_Max", 1)
+	m9, _ := res.At("G_Max", 9)
+	if m9.FR > m1.FR+1e-9 {
+		t.Errorf("G_Max plateau broken: FR(1) = %v, FR(9) = %v", m1.FR, m9.FR)
+	}
+}
+
+func TestKsHelper(t *testing.T) {
+	got := Ks(10, 3)
+	want := []int{0, 3, 6, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Ks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ks[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if ks := Ks(5, 0); len(ks) != 6 {
+		t.Errorf("Ks(5,0) = %v (step clamped to 1)", ks)
+	}
+}
+
+func TestFRCurvesRandomizedAveraging(t *testing.T) {
+	g, src := gen.QuoteLike(2)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "quote", []int{5}, StandardAlgorithms()[4:], 25, 3)
+	for _, s := range res.Series {
+		p := s.Points[0]
+		if p.FR < 0 || p.FR > 1 {
+			t.Errorf("%s: FR = %v outside [0,1]", s.Algorithm, p.FR)
+		}
+		// With 25 repetitions randomized baselines have nonzero spread on
+		// this graph.
+		if p.StdDev == 0 {
+			t.Errorf("%s: zero stddev over 25 runs is implausible", s.Algorithm)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T", Header: []string{"a", "b"}}
+	rep.AddRow(1, 0.5)
+	rep.AddRow("long-cell-value", 2.25)
+	rep.Note("hello %d", 7)
+	out := rep.String()
+	for _, want := range []string{"== x: T ==", "a", "0.5000", "long-cell-value", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "a,b") || !strings.Contains(csv, "1,0.5000") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestReportCSVQuoting(t *testing.T) {
+	rep := &Report{Header: []string{"h"}, Rows: [][]string{{`va"l,ue`}}}
+	csv := rep.CSV()
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Errorf("quoting wrong: %s", csv)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// FRPoint is one (k, FR) measurement; randomized algorithms carry the
+// standard deviation across repetitions.
+type FRPoint struct {
+	K      int
+	FR     float64
+	StdDev float64
+}
+
+// FRSeries is one algorithm's curve in a figure.
+type FRSeries struct {
+	Algorithm string
+	Points    []FRPoint
+}
+
+// FRResult is a full FR-vs-k figure: one series per algorithm over a fixed
+// dataset.
+type FRResult struct {
+	Dataset      string
+	Nodes, Edges int
+	Series       []FRSeries
+}
+
+// FRCurves reproduces the paper's FR figures: for every algorithm and every
+// budget k in ks, place filters and report the Filter Ratio
+// FR(A) = F(A)/F(V). Deterministic incremental algorithms are placed once
+// at max(ks) and measured on prefixes; randomized baselines are averaged
+// over reps independent runs (the paper uses 25).
+func FRCurves(ev flow.Evaluator, dataset string, ks []int, algos []Algorithm, reps int, seed int64) *FRResult {
+	g := ev.Model().Graph()
+	res := &FRResult{Dataset: dataset, Nodes: g.N(), Edges: g.M()}
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, algo := range algos {
+		series := FRSeries{Algorithm: algo.Name}
+		switch {
+		case algo.Randomized:
+			rng := rand.New(rand.NewSource(seed))
+			for _, k := range ks {
+				var w stats.Welford
+				for r := 0; r < reps; r++ {
+					nodes := algo.Place(ev, k, rng)
+					w.Add(flow.FR(ev, flow.MaskOf(g.N(), nodes)))
+				}
+				series.Points = append(series.Points, FRPoint{K: k, FR: w.Mean(), StdDev: w.StdDev()})
+			}
+		case algo.Incremental:
+			placement := algo.Place(ev, maxK, nil)
+			mask := make([]bool, g.N())
+			next := 0
+			for _, k := range ks {
+				for next < k && next < len(placement) {
+					mask[placement[next]] = true
+					next++
+				}
+				series.Points = append(series.Points, FRPoint{K: k, FR: flow.FR(ev, mask)})
+			}
+		default:
+			for _, k := range ks {
+				nodes := algo.Place(ev, k, nil)
+				series.Points = append(series.Points, FRPoint{K: k, FR: flow.FR(ev, flow.MaskOf(g.N(), nodes))})
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// Final returns the last point of the named series, to let tests assert
+// end-of-curve behaviour ("FR reaches 1 by k = 10").
+func (r *FRResult) Final(algorithm string) (FRPoint, bool) {
+	for _, s := range r.Series {
+		if s.Algorithm == algorithm {
+			if len(s.Points) == 0 {
+				return FRPoint{}, false
+			}
+			return s.Points[len(s.Points)-1], true
+		}
+	}
+	return FRPoint{}, false
+}
+
+// At returns the point with the given k of the named series.
+func (r *FRResult) At(algorithm string, k int) (FRPoint, bool) {
+	for _, s := range r.Series {
+		if s.Algorithm != algorithm {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.K == k {
+				return p, true
+			}
+		}
+	}
+	return FRPoint{}, false
+}
+
+// Ks returns an inclusive integer range {0, 1, …, max} with the given
+// step (the paper plots every k in its figures).
+func Ks(max, step int) []int {
+	if step < 1 {
+		step = 1
+	}
+	var ks []int
+	for k := 0; k <= max; k += step {
+		ks = append(ks, k)
+	}
+	if ks[len(ks)-1] != max {
+		ks = append(ks, max)
+	}
+	return ks
+}

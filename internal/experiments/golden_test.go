@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden experiment reports")
+
+// goldenIDs are the experiments whose quick-mode reports are fully
+// deterministic (no wall-clock columns), so their rendered output can be
+// pinned. This catches silent regressions in the generators, the engines
+// and the algorithms all at once.
+var goldenIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "abl-leaky"}
+
+func TestGoldenReports(t *testing.T) {
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, Options{Seed: 1, Quick: true, Reps: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run: go test ./internal/experiments -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from golden file %s.\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

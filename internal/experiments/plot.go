@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlotFR renders an FR figure as ASCII art, one plot symbol per series,
+// approximating the paper's figure style for terminal use. Height counts
+// interior rows; the x axis spans the ks present in the result.
+func PlotFR(res *FRResult, width, height int) string {
+	if len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
+		return "(empty figure)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	symbols := []byte{'A', 'M', '1', 'L', 'W', 'I', 'K', '*', '+', 'o'}
+	maxK := 0
+	for _, p := range res.Series[0].Points {
+		if p.K > maxK {
+			maxK = p.K
+		}
+	}
+	if maxK == 0 {
+		maxK = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(k int) int { return k * (width - 1) / maxK }
+	row := func(fr float64) int {
+		r := int((1 - fr) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range res.Series {
+		sym := symbols[si%len(symbols)]
+		for _, p := range s.Points {
+			c, r := col(p.K), row(p.FR)
+			if grid[r][c] == ' ' {
+				grid[r][c] = sym
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%d nodes, %d edges)\n", res.Dataset, res.Nodes, res.Edges)
+	for r, line := range grid {
+		label := "     "
+		switch r {
+		case 0:
+			label = "FR 1 "
+		case height - 1:
+			label = "   0 "
+		case (height - 1) / 2:
+			label = " 0.5 "
+		}
+		fmt.Fprintf(&sb, "%s|%s\n", label, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&sb, "     +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "      k=0%sk=%d\n", strings.Repeat(" ", max(1, width-6-len(fmt.Sprint(maxK)))), maxK)
+	var legend []string
+	for si, s := range res.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[si%len(symbols)], s.Algorithm))
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Join(legend, " "))
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

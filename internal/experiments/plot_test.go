@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/gen"
+)
+
+func TestPlotFR(t *testing.T) {
+	g, src := gen.QuoteLike(1)
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "quote", Ks(10, 1), GreedyAlgorithms(), 1, 1)
+	out := PlotFR(res, 40, 10)
+	for _, want := range []string{"FR 1", "k=0", "k=10", "A=G_ALL", "M=G_Max"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The G_ALL series saturates at FR 1, so the top row must contain its
+	// symbol.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "A") {
+		t.Errorf("top row missing saturated G_ALL symbol:\n%s", out)
+	}
+}
+
+func TestPlotFREmpty(t *testing.T) {
+	out := PlotFR(&FRResult{}, 40, 8)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotFRTinyDimensionsClamped(t *testing.T) {
+	g, src := gen.Figure1()
+	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
+	res := FRCurves(ev, "fig1", Ks(2, 1), GreedyAlgorithms(), 1, 1)
+	out := PlotFR(res, 1, 1) // clamps to minimum size, must not panic
+	if len(out) == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,181 @@
+package flow
+
+import (
+	"math/big"
+)
+
+// BigEngine evaluates the deterministic objective in exact math/big integer
+// arithmetic. Path counts — and therefore copy counts — grow exponentially
+// with graph depth, overflowing int64 on graphs as small as a few dozen
+// layered nodes; BigEngine never loses precision, at the cost of allocation
+// per arithmetic step. Greedy selections made through ArgmaxImpact compare
+// exact integers, so the chosen filter sets are exactly those of the
+// idealized algorithm. Weighted (probabilistic) models are not supported;
+// use FloatEngine.
+type BigEngine struct {
+	m        *Model
+	phiEmpty *big.Int
+	maxF     *big.Int
+}
+
+// NewBig builds an exact evaluator for the model. It panics when the model
+// carries edge weights, which have no exact integer semantics.
+func NewBig(m *Model) *BigEngine {
+	if m.Weighted() {
+		panic("flow: BigEngine does not support weighted models")
+	}
+	e := &BigEngine{m: m}
+	e.phiEmpty = e.phiBig(nil)
+	e.maxF = new(big.Int).Sub(e.phiEmpty, e.phiBig(AllFilters(m)))
+	return e
+}
+
+// Model implements Evaluator.
+func (e *BigEngine) Model() *Model { return e.m }
+
+var bigOne = big.NewInt(1)
+
+// forwardBig computes rec and emit exactly. Entries of emit may alias
+// entries of rec or bigOne; callers must not mutate them.
+func (e *BigEngine) forwardBig(filters []bool) (rec, emit []*big.Int) {
+	g := e.m.g
+	rec = make([]*big.Int, g.N())
+	emit = make([]*big.Int, g.N())
+	for _, v := range e.m.topo {
+		r := new(big.Int)
+		for _, p := range g.In(v) {
+			r.Add(r, emit[p])
+		}
+		rec[v] = r
+		switch {
+		case e.m.isSrc[v]:
+			emit[v] = bigOne
+		case filters != nil && filters[v] && r.Cmp(bigOne) > 0:
+			emit[v] = bigOne
+		default:
+			emit[v] = r
+		}
+	}
+	return rec, emit
+}
+
+func (e *BigEngine) phiBig(filters []bool) *big.Int {
+	rec, _ := e.forwardBig(filters)
+	total := new(big.Int)
+	for _, r := range rec {
+		total.Add(total, r)
+	}
+	return total
+}
+
+// PhiBig returns Φ(A, V) as an exact integer. The caller owns the result.
+func (e *BigEngine) PhiBig(filters []bool) *big.Int {
+	if filters == nil {
+		return new(big.Int).Set(e.phiEmpty)
+	}
+	return e.phiBig(filters)
+}
+
+// FBig returns F(A) exactly.
+func (e *BigEngine) FBig(filters []bool) *big.Int {
+	return new(big.Int).Sub(e.phiEmpty, e.phiBig(filters))
+}
+
+// suffixBig computes the downstream amplification exactly.
+func (e *BigEngine) suffixBig(filters []bool) []*big.Int {
+	g := e.m.g
+	suf := make([]*big.Int, g.N())
+	topo := e.m.topo
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		s := new(big.Int)
+		for _, c := range g.Out(v) {
+			s.Add(s, bigOne)
+			if filters == nil || !filters[c] {
+				s.Add(s, suf[c])
+			}
+		}
+		suf[v] = s
+	}
+	return suf
+}
+
+// impactsBig returns exact marginal gains.
+func (e *BigEngine) impactsBig(filters []bool) []*big.Int {
+	rec, _ := e.forwardBig(filters)
+	suf := e.suffixBig(filters)
+	gains := make([]*big.Int, len(rec))
+	zero := new(big.Int)
+	for v := range gains {
+		if e.m.isSrc[v] || (filters != nil && filters[v]) || rec[v].Sign() == 0 {
+			gains[v] = zero
+			continue
+		}
+		excess := new(big.Int).Sub(rec[v], bigOne)
+		gains[v] = excess.Mul(excess, suf[v])
+	}
+	return gains
+}
+
+// Phi implements Evaluator (float approximation of the exact value).
+func (e *BigEngine) Phi(filters []bool) float64 { return bigToFloat(e.PhiBig(filters)) }
+
+// Received implements Evaluator.
+func (e *BigEngine) Received(filters []bool) []float64 {
+	rec, _ := e.forwardBig(filters)
+	return bigsToFloats(rec)
+}
+
+// Suffix implements Evaluator.
+func (e *BigEngine) Suffix(filters []bool) []float64 {
+	return bigsToFloats(e.suffixBig(filters))
+}
+
+// Impacts implements Evaluator.
+func (e *BigEngine) Impacts(filters []bool) []float64 {
+	return bigsToFloats(e.impactsBig(filters))
+}
+
+// ArgmaxImpact implements Evaluator with exact integer comparisons.
+func (e *BigEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
+	gains := e.impactsBig(filters)
+	best := -1
+	var bestGain *big.Int
+	for v, gn := range gains {
+		if banned != nil && banned[v] {
+			continue
+		}
+		if gn.Sign() <= 0 {
+			continue
+		}
+		if bestGain == nil || gn.Cmp(bestGain) > 0 {
+			best, bestGain = v, gn
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bigToFloat(bestGain)
+}
+
+// F implements Evaluator.
+func (e *BigEngine) F(filters []bool) float64 { return bigToFloat(e.FBig(filters)) }
+
+// MaxF implements Evaluator.
+func (e *BigEngine) MaxF() float64 { return bigToFloat(e.maxF) }
+
+// MaxFBig returns F(V) exactly. The caller owns the result.
+func (e *BigEngine) MaxFBig() *big.Int { return new(big.Int).Set(e.maxF) }
+
+func bigToFloat(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}
+
+func bigsToFloats(xs []*big.Int) []float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = bigToFloat(x)
+	}
+	return fs
+}

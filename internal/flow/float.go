@@ -1,0 +1,184 @@
+package flow
+
+import "fmt"
+
+// FloatEngine evaluates the objective in float64 arithmetic. It is the
+// default engine for experiments: path counts up to ~1e308 are representable
+// and greedy algorithms only compare magnitudes, so the loss of exactness
+// for astronomically large counts is immaterial in practice. It is also the
+// only engine that supports the probabilistic (edge-weighted) model.
+//
+// The hot paths (Phi, F, ArgmaxImpact — the inner loop of Greedy_All) reuse
+// internal scratch buffers, so a FloatEngine is not safe for concurrent
+// use; build one engine per goroutine. Methods returning slices (Received,
+// Suffix, Impacts) always return freshly allocated results.
+type FloatEngine struct {
+	m *Model
+	// phiEmpty caches Φ(∅,V) and maxF caches F(V); both are invariants of
+	// the model.
+	phiEmpty float64
+	maxF     float64
+	// scratch buffers for the zero-allocation hot paths.
+	scratchRec  []float64
+	scratchEmit []float64
+	scratchSuf  []float64
+}
+
+// NewFloat builds a float64 evaluator for the model.
+func NewFloat(m *Model) *FloatEngine {
+	e := &FloatEngine{m: m}
+	e.phiEmpty = e.phi(nil)
+	e.maxF = e.phiEmpty - e.phi(AllFilters(m))
+	return e
+}
+
+// Model implements Evaluator.
+func (e *FloatEngine) Model() *Model { return e.m }
+
+func (e *FloatEngine) weight(u, v int) float64 {
+	if e.m.weight == nil {
+		return 1
+	}
+	w := e.m.weight(u, v)
+	if w < 0 || w > 1 {
+		panic(fmt.Sprintf("flow: weight(%d,%d) = %v outside [0,1]", u, v, w))
+	}
+	return w
+}
+
+// forward computes rec and emit in topological order into freshly
+// allocated slices. filters may be nil.
+func (e *FloatEngine) forward(filters []bool) (rec, emit []float64) {
+	rec = make([]float64, e.m.g.N())
+	emit = make([]float64, e.m.g.N())
+	e.forwardInto(filters, rec, emit)
+	return rec, emit
+}
+
+// forwardInto runs the forward pass into caller-provided buffers.
+func (e *FloatEngine) forwardInto(filters []bool, rec, emit []float64) {
+	g := e.m.g
+	for _, v := range e.m.topo {
+		r := 0.0
+		for _, p := range g.In(v) {
+			r += e.weight(p, v) * emit[p]
+		}
+		rec[v] = r
+		switch {
+		case e.m.isSrc[v]:
+			emit[v] = 1
+		case filters != nil && filters[v] && r > 1:
+			emit[v] = 1
+		default:
+			emit[v] = r
+		}
+	}
+}
+
+// ensureScratch sizes the reusable buffers.
+func (e *FloatEngine) ensureScratch() {
+	n := e.m.g.N()
+	if cap(e.scratchRec) < n {
+		e.scratchRec = make([]float64, n)
+		e.scratchEmit = make([]float64, n)
+		e.scratchSuf = make([]float64, n)
+	}
+	e.scratchRec = e.scratchRec[:n]
+	e.scratchEmit = e.scratchEmit[:n]
+	e.scratchSuf = e.scratchSuf[:n]
+}
+
+func (e *FloatEngine) phi(filters []bool) float64 {
+	e.ensureScratch()
+	e.forwardInto(filters, e.scratchRec, e.scratchEmit)
+	total := 0.0
+	for _, r := range e.scratchRec {
+		total += r
+	}
+	return total
+}
+
+// Phi implements Evaluator.
+func (e *FloatEngine) Phi(filters []bool) float64 {
+	if filters == nil {
+		return e.phiEmpty
+	}
+	return e.phi(filters)
+}
+
+// Received implements Evaluator.
+func (e *FloatEngine) Received(filters []bool) []float64 {
+	rec, _ := e.forward(filters)
+	return rec
+}
+
+// Suffix implements Evaluator.
+func (e *FloatEngine) Suffix(filters []bool) []float64 {
+	suf := make([]float64, e.m.g.N())
+	e.suffixInto(filters, suf)
+	return suf
+}
+
+// suffixInto runs the backward pass into a caller-provided buffer.
+func (e *FloatEngine) suffixInto(filters []bool, suf []float64) {
+	g := e.m.g
+	topo := e.m.topo
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		s := 0.0
+		for _, c := range g.Out(v) {
+			w := e.weight(v, c)
+			if filters != nil && filters[c] {
+				s += w
+			} else {
+				s += w * (1 + suf[c])
+			}
+		}
+		suf[v] = s
+	}
+}
+
+// Impacts implements Evaluator.
+func (e *FloatEngine) Impacts(filters []bool) []float64 {
+	rec, _ := e.forward(filters)
+	suf := e.Suffix(filters)
+	gains := make([]float64, len(rec))
+	for v := range gains {
+		if e.m.isSrc[v] || (filters != nil && filters[v]) {
+			continue
+		}
+		excess := rec[v] - 1
+		if rec[v] < 1 {
+			excess = 0 // emission is unchanged by a filter when rec ≤ 1
+		}
+		gains[v] = excess * suf[v]
+	}
+	return gains
+}
+
+// ArgmaxImpact implements Evaluator. It is the Greedy_All inner loop and
+// runs allocation-free over the engine's scratch buffers.
+func (e *FloatEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
+	e.ensureScratch()
+	e.forwardInto(filters, e.scratchRec, e.scratchEmit)
+	e.suffixInto(filters, e.scratchSuf)
+	best, bestGain := -1, 0.0
+	for v, r := range e.scratchRec {
+		if banned != nil && banned[v] {
+			continue
+		}
+		if e.m.isSrc[v] || (filters != nil && filters[v]) || r <= 1 {
+			continue
+		}
+		if gn := (r - 1) * e.scratchSuf[v]; gn > bestGain {
+			best, bestGain = v, gn
+		}
+	}
+	return best, bestGain
+}
+
+// F implements Evaluator.
+func (e *FloatEngine) F(filters []bool) float64 { return e.phiEmpty - e.Phi(filters) }
+
+// MaxF implements Evaluator.
+func (e *FloatEngine) MaxF() float64 { return e.maxF }

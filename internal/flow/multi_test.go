@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestMultiSingleItemEquivalence(t *testing.T) {
+	// One item with rate 1 must match the single-item engine exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSourcedDAG(rng, 18, 0.3)
+		src := g.Sources()[0]
+		single := NewFloat(MustModel(g, nil))
+		multi, err := NewMulti(g, []Item{{Name: "only", Source: src}})
+		if err != nil {
+			t.Logf("NewMulti: %v", err)
+			return false
+		}
+		filters := make([]bool, g.N())
+		for v := range filters {
+			filters[v] = rng.Float64() < 0.3
+		}
+		if math.Abs(single.Phi(filters)-multi.Phi(filters)) > 1e-9 {
+			return false
+		}
+		si, mi := single.Impacts(filters), multi.Impacts(filters)
+		for v := range si {
+			if math.Abs(si[v]-mi[v]) > 1e-9*(1+si[v]) {
+				return false
+			}
+		}
+		return math.Abs(single.MaxF()-multi.MaxF()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiRateScaling(t *testing.T) {
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	one, err := NewMulti(g, []Item{{Source: 0, Rate: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := NewMulti(g, []Item{{Source: 0, Rate: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(five.Phi(nil)-5*one.Phi(nil)) > 1e-9 {
+		t.Errorf("rate 5: Φ = %v, want %v", five.Phi(nil), 5*one.Phi(nil))
+	}
+	// Rate ≤ 0 defaults to 1.
+	def, err := NewMulti(g, []Item{{Source: 0, Rate: -3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(def.Phi(nil)-one.Phi(nil)) > 1e-9 {
+		t.Errorf("defaulted rate: Φ = %v, want %v", def.Phi(nil), one.Phi(nil))
+	}
+}
+
+func TestMultiItemAccounting(t *testing.T) {
+	// Two bloggers who follow each other's relay chains:
+	//   a → m, b → m, m → t1, m → t2
+	// Item A from a, item B from b. Without filters, m receives one copy
+	// of each (Φ_A: m 1, t 2 → 3; same for B; total 6). m is the only
+	// useful filter candidate... with no duplicates per item, filtering
+	// changes nothing (each item reaches m once). Now make item A arrive
+	// twice at m via a second path a → x → m.
+	g := graph.MustFromEdges(6, [][2]int{
+		{0, 5}, {5, 2}, {0, 2}, // a → x → m, a → m
+		{1, 2},         // b → m
+		{2, 3}, {2, 4}, // m → t1, t2
+	})
+	me, err := NewMulti(g, []Item{
+		{Name: "A", Source: 0},
+		{Name: "B", Source: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item A: x 1, m 2, t 4 → 7. Item B: m 1, t 2 → 3. Total 10.
+	if phi := me.Phi(nil); phi != 10 {
+		t.Fatalf("Φ = %v, want 10", phi)
+	}
+	if phiA := me.PhiOf(0, nil); phiA != 7 {
+		t.Errorf("Φ_A = %v, want 7", phiA)
+	}
+	// Filter at m: item A's t-deliveries halve (m emits 1): A = 1+2+2 = 5;
+	// B unchanged (m received B once). Total 8, gain 2.
+	fm := MaskOf(g.N(), []int{2})
+	if phi := me.Phi(fm); phi != 8 {
+		t.Errorf("Φ({m}) = %v, want 8", phi)
+	}
+	gains := me.Impacts(nil)
+	if gains[2] != 2 {
+		t.Errorf("gain at m = %v, want 2", gains[2])
+	}
+	v, gain := me.ArgmaxImpact(nil, nil)
+	if v != 2 || gain != 2 {
+		t.Errorf("argmax = (%d, %v), want (2, 2)", v, gain)
+	}
+}
+
+func TestMultiSourceWithInEdgesIsFilterCandidate(t *testing.T) {
+	// Blogger b both creates item B and relays item A that reaches it
+	// twice. In the multi-item model b may carry a filter (for item A),
+	// which the single-item model's source validation would forbid.
+	//   a → p, a → q, p → b, q → b, b → t
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	me, err := NewMulti(g, []Item{
+		{Name: "A", Source: 0},
+		{Name: "B", Source: 3}, // b = node 3, in-degree 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item A: p1 + q1 + b2 + t2 = 6; item B: t 1. Total 7.
+	if phi := me.Phi(nil); phi != 7 {
+		t.Fatalf("Φ = %v, want 7", phi)
+	}
+	// Filter at b: item A's t-delivery drops to 1 → A = 5; B unaffected.
+	gains := me.Impacts(nil)
+	if gains[3] != 1 {
+		t.Errorf("gain at b = %v, want 1 (b filters item A)", gains[3])
+	}
+}
+
+func TestMultiImpactIsMarginalGain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSourcedDAG(rng, 15, 0.3)
+		// Two items from random nodes (in-edges allowed), random rates.
+		me, err := NewMulti(g, []Item{
+			{Source: rng.Intn(g.N()), Rate: 1 + rng.Float64()*3},
+			{Source: rng.Intn(g.N()), Rate: 1 + rng.Float64()*3},
+		})
+		if err != nil {
+			return false
+		}
+		filters := make([]bool, g.N())
+		for v := range filters {
+			filters[v] = rng.Float64() < 0.2
+		}
+		gains := me.Impacts(filters)
+		base := me.F(filters)
+		for v := 0; v < g.N(); v++ {
+			if filters[v] {
+				continue
+			}
+			filters[v] = true
+			want := me.F(filters) - base
+			filters[v] = false
+			// Source nodes of the base model carry zero gain by fiat;
+			// their true gain is also zero (they receive nothing).
+			if math.Abs(gains[v]-want) > 1e-6*(1+math.Abs(want)) {
+				t.Logf("seed %d node %d: gain %v want %v", seed, v, gains[v], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if _, err := NewMulti(g, nil); err == nil {
+		t.Error("empty item list accepted")
+	}
+	if _, err := NewMulti(g, []Item{{Source: 9}}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	cyc := graph.MustFromEdges(2, [][2]int{{0, 1}, {1, 0}})
+	if _, err := NewMulti(cyc, []Item{{Source: 0}}); err != ErrNotDAG {
+		t.Errorf("cyclic graph: err = %v, want ErrNotDAG", err)
+	}
+}
+
+func TestMultiFRWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomSourcedDAG(rng, 40, 0.15)
+	me, err := NewMulti(g, []Item{
+		{Source: 0, Rate: 1},
+		{Source: 5, Rate: 2},
+		{Source: 11, Rate: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 3 {
+		filters[v] = true
+	}
+	fr := FR(me, filters)
+	if fr < 0 || fr > 1 {
+		t.Errorf("FR = %v", fr)
+	}
+	if fr2 := FR(me, AllFilters(me.Model())); fr2 < fr-1e-9 {
+		t.Errorf("all-filters FR %v below partial %v", fr2, fr)
+	}
+}

@@ -1,0 +1,139 @@
+package flow
+
+import (
+	"math/big"
+
+	"repro/internal/graph"
+)
+
+// This file implements the paper's path-counting view of the objective: in
+// the deterministic model with no filters, Prefix(v) = #paths(s, v) and
+// Suffix(v) = Σ_x #paths(v, x). These routines mirror the paper's plist
+// bookkeeping and exist chiefly to validate the engines against an
+// independent formulation; the engines themselves never materialize
+// per-ancestor path tables.
+
+// PathCountsFrom returns #paths(src, v) for every node v of the DAG as
+// exact integers (#paths(src, src) = 1). It runs one topological pass.
+func PathCountsFrom(g *graph.Digraph, src int) ([]*big.Int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]*big.Int, g.N())
+	for i := range counts {
+		counts[i] = new(big.Int)
+	}
+	counts[src].SetInt64(1)
+	for _, v := range topo {
+		if counts[v].Sign() == 0 {
+			continue
+		}
+		for _, c := range g.Out(v) {
+			counts[c].Add(counts[c], counts[v])
+		}
+	}
+	return counts, nil
+}
+
+// PathCountsTo returns #paths(v, dst) for every node v of the DAG as exact
+// integers (#paths(dst, dst) = 1).
+func PathCountsTo(g *graph.Digraph, dst int) ([]*big.Int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]*big.Int, g.N())
+	for i := range counts {
+		counts[i] = new(big.Int)
+	}
+	counts[dst].SetInt64(1)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, c := range g.Out(v) {
+			counts[v].Add(counts[v], counts[c])
+		}
+		if v == dst {
+			counts[v].SetInt64(1)
+		}
+	}
+	return counts, nil
+}
+
+// TotalPathsFrom returns Σ_x #paths(v, x) over all x ≠ v — the paper's
+// Suffix(v) in the unfiltered deterministic model — for every node v.
+func TotalPathsFrom(g *graph.Digraph) ([]*big.Int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// total(v) = Σ_{c∈Out(v)} (1 + total(c)): every path from v either
+	// stops at a child or continues past it.
+	totals := make([]*big.Int, g.N())
+	for i := range totals {
+		totals[i] = new(big.Int)
+	}
+	one := big.NewInt(1)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, c := range g.Out(v) {
+			totals[v].Add(totals[v], one)
+			totals[v].Add(totals[v], totals[c])
+		}
+	}
+	return totals, nil
+}
+
+// PList mirrors the paper's per-node bookkeeping: plist[v][x] = #paths(x,v)
+// for every ancestor x of v (including v itself with value 1). It is
+// quadratic in memory and intended for validation on small graphs only.
+type PList struct {
+	g     *graph.Digraph
+	lists []map[int]*big.Int
+}
+
+// NewPList computes the full plist table for a DAG.
+func NewPList(g *graph.Digraph) (*PList, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lists := make([]map[int]*big.Int, g.N())
+	for _, v := range topo {
+		lv := map[int]*big.Int{v: big.NewInt(1)}
+		for _, p := range g.In(v) {
+			for x, c := range lists[p] {
+				if acc, ok := lv[x]; ok {
+					acc.Add(acc, c)
+				} else {
+					lv[x] = new(big.Int).Set(c)
+				}
+			}
+		}
+		lists[v] = lv
+	}
+	return &PList{g: g, lists: lists}, nil
+}
+
+// Paths returns #paths(x, v) (0 when x does not reach v). The zero-length
+// path makes Paths(v, v) = 1, matching the paper's convention
+// plist_v[v] = 1.
+func (p *PList) Paths(x, v int) *big.Int {
+	if c, ok := p.lists[v][x]; ok {
+		return new(big.Int).Set(c)
+	}
+	return new(big.Int)
+}
+
+// SuffixOf returns Σ_x plist_x[v] − 1 = the number of non-empty paths
+// starting at v, i.e. the paper's Suffix(v) (formula (4) excludes the
+// trivial path of v to itself, which the plist convention includes).
+func (p *PList) SuffixOf(v int) *big.Int {
+	total := new(big.Int)
+	for x := 0; x < p.g.N(); x++ {
+		if c, ok := p.lists[x][v]; ok {
+			total.Add(total, c)
+		}
+	}
+	return total.Sub(total, big.NewInt(1))
+}

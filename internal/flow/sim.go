@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Simulator propagates individual copies through a c-graph, one relay event
+// at a time, exactly as the paper's propagation story describes. It is
+// deliberately independent of the analytic engines — no topological passes,
+// no closed forms — so tests can use it as an oracle. Unlike the engines it
+// also runs on cyclic graphs, where copy counts diverge unless filters cut
+// every cycle; the event budget turns that divergence into a detectable
+// error (this is exactly the finiteness criterion of the paper's Theorem 1
+// reduction).
+type Simulator struct {
+	g       *graph.Digraph
+	sources []int
+	// MaxEvents bounds the total number of relay events before the
+	// simulation aborts with ErrBudget. The default (1<<20) is generous
+	// for test-sized graphs while stopping runaway cyclic propagation
+	// quickly.
+	MaxEvents int
+	// Rand, when set together with Prob, drives probabilistic relaying:
+	// each received copy is forwarded over each out-edge independently
+	// with probability Prob(u,v).
+	Rand *rand.Rand
+	Prob func(u, v int) float64
+}
+
+// ErrBudget is returned when a simulation exceeds its event budget, which
+// on a cyclic graph indicates divergent (infinite) propagation.
+var ErrBudget = errors.New("flow: simulation exceeded event budget (divergent propagation?)")
+
+// NewSimulator builds a simulator over any directed graph. sources defaults
+// to the in-degree-zero nodes when empty.
+func NewSimulator(g *graph.Digraph, sources []int) (*Simulator, error) {
+	if len(sources) == 0 {
+		sources = g.Sources()
+	}
+	for _, s := range sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("flow: source %d out of range [0,%d)", s, g.N())
+		}
+	}
+	return &Simulator{g: g, sources: append([]int(nil), sources...), MaxEvents: 1 << 20}, nil
+}
+
+// Run propagates one item from every source and returns the number of
+// copies each node received. filters may be nil. It returns ErrBudget when
+// the event budget is exhausted.
+func (s *Simulator) Run(filters []bool) ([]int64, error) {
+	rec := make([]int64, s.g.N())
+	relayed := make([]bool, s.g.N()) // per filter node: item already relayed?
+
+	// The queue holds nodes that must emit copies; queued work is
+	// (node, copies-to-forward). A FIFO keeps memory proportional to the
+	// frontier rather than the total copy count.
+	type work struct {
+		v      int
+		copies int64
+	}
+	var queue []work
+	events := 0
+	push := func(v int, copies int64) {
+		if copies > 0 {
+			queue = append(queue, work{v, copies})
+		}
+	}
+	for _, src := range s.sources {
+		push(src, 1)
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, c := range s.g.Out(w.v) {
+			delivered := w.copies
+			if s.Prob != nil && s.Rand != nil {
+				delivered = 0
+				p := s.Prob(w.v, c)
+				for i := int64(0); i < w.copies; i++ {
+					if s.Rand.Float64() < p {
+						delivered++
+					}
+				}
+			}
+			if delivered == 0 {
+				continue
+			}
+			events++
+			if events > s.MaxEvents {
+				return nil, ErrBudget
+			}
+			rec[c] += delivered
+			forward := delivered
+			if filters != nil && filters[c] {
+				if relayed[c] {
+					forward = 0
+				} else {
+					forward = 1
+					relayed[c] = true
+				}
+			}
+			push(c, forward)
+		}
+	}
+	return rec, nil
+}
+
+// Phi runs the simulation and returns Φ(A, V) = total copies received.
+func (s *Simulator) Phi(filters []bool) (int64, error) {
+	rec, err := s.Run(filters)
+	if err != nil {
+		return 0, err
+	}
+	total := int64(0)
+	for _, r := range rec {
+		total += r
+	}
+	return total, nil
+}

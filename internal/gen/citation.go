@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// CitationLike generates a synthetic stand-in for the paper's G_Citation
+// graph: the subgraph of the APS citation network reachable from Rader et
+// al. (Phys. Rev. B 55, 1997), with edges directed from cited to citing
+// paper (9,982 nodes, 36,070 edges, acyclic, power-law degrees).
+//
+// The defining structural feature — sketched in the paper's Figure 10 — is
+// a chain of nine in-degree-one nodes through which *all* paths from the
+// upper half of the graph to the lower half pass. Every chain node has an
+// enormous unfiltered impact (the whole lower half hangs below it), but
+// filtering the first one collapses the impact of the rest; this trap makes
+// Greedy_Max's FR curve flat over a long range while Greedy_All keeps
+// improving, which is exactly the paper's Figure 9 story.
+//
+// Redundancy is split between the gateway/chain (roughly a third of F(V))
+// and about a dozen hub papers ("surveys" with in-degree > 1) whose impacts
+// sit below every chain node's. Greedy_All therefore takes the gateway
+// first and then harvests hubs, while Greedy_Max burns its entire budget on
+// the gateway plus the (mutually redundant) chain.
+//
+// Construction: a source paper feeds an upper half (tree skeleton with hub
+// papers and heavy-tailed extra citations into sink papers); a gateway
+// paper collects three upper branches and opens the nine-node chain; the
+// chain feeds the lower half, shaped like the upper one.
+func CitationLike(seed int64) (*graph.Digraph, int) {
+	const (
+		nUpper    = 5500
+		nLower    = 4400
+		chainLen  = 9
+		nHubsUp   = 8
+		nHubsDown = 4
+		gatewayIn = 2 // extra upper parents of the gateway
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(0)
+
+	src := b.AddNode()
+	upper := growHalf(b, rng, src, nUpper, nHubsUp, 17000)
+
+	// Gateway: cited by three upper-half papers, so every copy count below
+	// it is tripled until a filter intervenes.
+	gateway := b.AddNode()
+	b.AddEdge(upper.internal[0], gateway)
+	for i := 0; i < gatewayIn; i++ {
+		b.AddEdge(upper.internal[1+i], gateway)
+	}
+
+	chain := make([]int, chainLen)
+	prev := gateway
+	for i := range chain {
+		chain[i] = b.AddNode()
+		b.AddEdge(prev, chain[i])
+		prev = chain[i]
+	}
+
+	growHalf(b, rng, prev, nLower, nHubsDown, 9000)
+	return b.MustBuild(), src
+}
+
+// half records the node roles created by growHalf.
+type half struct {
+	root     int
+	internal []int // non-sink nodes, usable as parents of further structure
+	hubs     []int
+	sinks    []int
+}
+
+// growHalf builds one half of the citation graph under the given root: a
+// random recursive tree over nInternal/3 internal papers, nHubs hub papers
+// that each receive 3–6 extra in-edges from earlier internal papers
+// (in-degree > 1, out-degree > 0), and a heavy-tailed fringe of sink papers
+// absorbing extraCites additional citation edges. Hubs are drawn from
+// early tree positions so their subtrees — and hence their impacts — are
+// substantial, yet bounded well below the chain nodes'. Only sinks receive
+// the heavy-tailed extra edges, so the hubs are the half's entire
+// contribution to the Proposition-1 set.
+func growHalf(b *graph.Builder, rng *rand.Rand, root, nInternal, nHubs, extraCites int) *half {
+	h := &half{root: root}
+	h.internal = make([]int, nInternal/3)
+	for i := range h.internal {
+		h.internal[i] = b.AddNode()
+		if i == 0 {
+			b.AddEdge(root, h.internal[i])
+		} else {
+			b.AddEdge(h.internal[rng.Intn(i)], h.internal[i])
+		}
+	}
+	// Hubs: early-position internal papers with extra in-edges from
+	// papers created before them (keeps the half acyclic). The position
+	// window [10, 10 + n/18) yields subtrees big enough to matter and
+	// small enough to stay below the chain's impact.
+	window := len(h.internal) / 18
+	if window < 2 {
+		window = 2
+	}
+	seen := map[int]bool{}
+	for i := 0; i < nHubs; i++ {
+		iv := 10 + rng.Intn(window)
+		if iv >= len(h.internal) {
+			iv = len(h.internal) - 1
+		}
+		if seen[iv] {
+			continue
+		}
+		seen[iv] = true
+		v := h.internal[iv]
+		extra := 3 + rng.Intn(4)
+		for e := 0; e < extra; e++ {
+			u := h.internal[rng.Intn(iv)]
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		h.hubs = append(h.hubs, v)
+	}
+	// Sinks: the remaining two thirds, each cited once by the tree and
+	// then targeted by the heavy-tailed extra citations.
+	nSinks := nInternal - len(h.internal)
+	h.sinks = make([]int, nSinks)
+	for i := range h.sinks {
+		h.sinks[i] = b.AddNode()
+		b.AddEdge(h.internal[rng.Intn(len(h.internal))], h.sinks[i])
+	}
+	for e := 0; e < extraCites; e++ {
+		u := h.internal[rng.Intn(len(h.internal))]
+		// Heavy tail: square the uniform variate so low-index sinks
+		// soak up quadratically more citations.
+		t := rng.Float64()
+		v := h.sinks[int(t*t*float64(nSinks))]
+		b.AddEdge(u, v)
+	}
+	return h
+}

@@ -1,0 +1,108 @@
+// Package gen generates every communication graph used by the paper's
+// evaluation: the toy graphs of Figures 1–3 (reconstructed so the paper's
+// exact copy counts reproduce), the layered synthetic graphs of §5, and
+// structure-matched synthetic stand-ins for the three real datasets (Quote
+// "lipstick on a pig", Twitter "sigcomm09", APS citations), which are not
+// redistributable. It also provides general-purpose random DAGs, random
+// communication trees, random digraphs, and the Figure-10 bottleneck motif.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import "repro/internal/graph"
+
+// Figure1 rebuilds the paper's Figure 1 news-syndication toy graph.
+//
+//	s → x, y;  x → z1, z2;  y → z2, z3;  z1, z2, z3 → w
+//
+// Node ids are exported as constants. In this graph z2 receives two copies
+// of every item and w receives four; z2 is the only node with in-degree > 1
+// and out-degree > 0, so by Proposition 1 the single filter {z2} achieves
+// the maximum possible reduction.
+func Figure1() (*graph.Digraph, int) {
+	g := graph.MustFromEdges(7, [][2]int{
+		{Fig1S, Fig1X}, {Fig1S, Fig1Y},
+		{Fig1X, Fig1Z1}, {Fig1X, Fig1Z2},
+		{Fig1Y, Fig1Z2}, {Fig1Y, Fig1Z3},
+		{Fig1Z1, Fig1W}, {Fig1Z2, Fig1W}, {Fig1Z3, Fig1W},
+	})
+	g, _ = g.WithLabels([]string{"s", "x", "y", "z1", "z2", "z3", "w"})
+	return g, Fig1S
+}
+
+// Node ids of Figure1.
+const (
+	Fig1S = iota
+	Fig1X
+	Fig1Y
+	Fig1Z1
+	Fig1Z2
+	Fig1Z3
+	Fig1W
+)
+
+// Figure2 rebuilds the paper's Figure 2 counterexample to Greedy_1 with the
+// paper's exact copy counts: Φ(∅,V) = 14; a filter at B (the Greedy_1
+// choice, m(B) = 1·4 = 4) leaves Φ unchanged at 14, while the optimal
+// single filter at A (m(A) = 3·1 = 3) reduces Φ to 12.
+//
+//	s → v1, v2, v3, B;  v1, v2, v3 → A;  A → t;  B → w1, w2, w3, w4
+func Figure2() (*graph.Digraph, int) {
+	g := graph.MustFromEdges(11, [][2]int{
+		{Fig2S, Fig2V1}, {Fig2S, Fig2V2}, {Fig2S, Fig2V3}, {Fig2S, Fig2B},
+		{Fig2V1, Fig2A}, {Fig2V2, Fig2A}, {Fig2V3, Fig2A},
+		{Fig2A, Fig2T},
+		{Fig2B, Fig2W1}, {Fig2B, Fig2W2}, {Fig2B, Fig2W3}, {Fig2B, Fig2W4},
+	})
+	g, _ = g.WithLabels([]string{"s", "v1", "v2", "v3", "A", "t", "B", "w1", "w2", "w3", "w4"})
+	return g, Fig2S
+}
+
+// Node ids of Figure2.
+const (
+	Fig2S = iota
+	Fig2V1
+	Fig2V2
+	Fig2V3
+	Fig2A
+	Fig2T
+	Fig2B
+	Fig2W1
+	Fig2W2
+	Fig2W3
+	Fig2W4
+)
+
+// Figure3 rebuilds the paper's Figure 3 example showing Greedy_All is not
+// optimal for k = 2, with the paper's exact numbers: Φ(∅,V) = 26; impacts
+// I(A) = 7, I(B) = 6, I(C) = 6; after filtering A, I(B|A) = 3 and
+// I(C|A) = 4, so Greedy_All selects {A, C} with Φ = 15 while the optimum
+// {B, C} achieves Φ = 14.
+//
+//	S1 → A, B, C;  S2 → A, C;  A → B, C;
+//	B → t1, t2, t3;  C → u1, u2
+func Figure3() (*graph.Digraph, []int) {
+	g := graph.MustFromEdges(10, [][2]int{
+		{Fig3S1, Fig3A}, {Fig3S1, Fig3B}, {Fig3S1, Fig3C},
+		{Fig3S2, Fig3A}, {Fig3S2, Fig3C},
+		{Fig3A, Fig3B}, {Fig3A, Fig3C},
+		{Fig3B, Fig3T1}, {Fig3B, Fig3T2}, {Fig3B, Fig3T3},
+		{Fig3C, Fig3U1}, {Fig3C, Fig3U2},
+	})
+	g, _ = g.WithLabels([]string{"S1", "S2", "A", "B", "C", "t1", "t2", "t3", "u1", "u2"})
+	return g, []int{Fig3S1, Fig3S2}
+}
+
+// Node ids of Figure3.
+const (
+	Fig3S1 = iota
+	Fig3S2
+	Fig3A
+	Fig3B
+	Fig3C
+	Fig3T1
+	Fig3T2
+	Fig3T3
+	Fig3U1
+	Fig3U2
+)

@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BottleneckChain builds the isolated Figure-10 motif of the APS citation
+// graph: an "upper half" whose paths all converge on a gateway node, a
+// chain of chainLen in-degree-one nodes, and a "lower half" fanning out
+// below the chain. Every chain node has a huge unfiltered impact, yet all
+// of those impacts collapse once any earlier chain node (or the gateway) is
+// filtered — the structure that defeats Greedy_Max in the paper's Figure 9.
+//
+// The upper half is a fan: source → u_1..u_width → gateway (so the gateway
+// receives `width` copies); the lower half is a complete binary tree of
+// depth `depth` rooted at the chain's last node.
+func BottleneckChain(width, chainLen, depth int, seed int64) (*graph.Digraph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(0)
+	src := b.AddNode()
+	gateway := b.AddNode()
+	for i := 0; i < width; i++ {
+		u := b.AddNode()
+		b.AddEdge(src, u)
+		b.AddEdge(u, gateway)
+	}
+	prev := gateway
+	for i := 0; i < chainLen; i++ {
+		c := b.AddNode()
+		b.AddEdge(prev, c)
+		prev = c
+	}
+	// Lower half: binary tree below the chain end.
+	frontier := []int{prev}
+	for d := 0; d < depth; d++ {
+		var next []int
+		for _, p := range frontier {
+			l, r := b.AddNode(), b.AddNode()
+			b.AddEdge(p, l)
+			b.AddEdge(p, r)
+			next = append(next, l, r)
+		}
+		frontier = next
+	}
+	// A sprinkle of shortcut citations within the tree keeps the motif
+	// from being perfectly regular; they always point from a node to a
+	// node created later, preserving acyclicity, and only target leaves
+	// (sinks), preserving the Proposition-1 set {gateway}.
+	for i := 0; i < len(frontier)/2; i++ {
+		u := frontier[rng.Intn(len(frontier)/2)]
+		v := frontier[len(frontier)/2+rng.Intn(len(frontier)/2)]
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild(), src
+}
+
+// ChainNodes returns the ids of the gateway and chain nodes of a
+// BottleneckChain graph with the given parameters (they depend only on the
+// construction order): gateway is node 1 and the chain occupies the
+// chainLen ids after the fan.
+func ChainNodes(width, chainLen int) (gateway int, chain []int) {
+	gateway = 1
+	first := 2 + width
+	for i := 0; i < chainLen; i++ {
+		chain = append(chain, first+i)
+	}
+	return gateway, chain
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// QuoteLike generates a synthetic stand-in for the paper's G_Phrase graph:
+// the "lipstick on a pig" subgraph of the Memetracker Quote dataset after
+// Acyclic extraction (932 nodes, 2,703 edges, single source).
+//
+// Structural targets taken from the paper's Figure 6 and §5 discussion:
+//
+//   - ≈70% of nodes are sinks (blogs that only consume the phrase);
+//   - ≈50% of nodes have in-degree exactly one;
+//   - in-degrees are heavy-tailed with a maximum near 100;
+//   - a handful of nodes have both high in- and out-degree, and exactly
+//     four nodes have in-degree > 1 *and* out-degree > 0, so by
+//     Proposition 1 four filters achieve perfect redundancy elimination —
+//     reproducing the paper's "as few as four nodes achieve perfect
+//     redundancy elimination for this dataset".
+//
+// The construction: a source feeds a 4-hub mutually-linked core (the
+// mainstream sites that both aggregate and redistribute); hubs fan out to a
+// mid-tier of in-degree-1 relays (regional outlets); hubs and relays link
+// into a sink fringe with power-law in-degrees. All redundancy-creating
+// extra edges point at sinks, which keeps the Proposition-1 set exactly the
+// four hubs.
+func QuoteLike(seed int64) (*graph.Digraph, int) {
+	const (
+		nMids  = 274
+		nSinks = 652
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(0)
+
+	src := b.AddNode()
+	relay := b.AddNode() // gives h1 a second in-edge so all four hubs need filters
+	hubs := make([]int, 4)
+	for i := range hubs {
+		hubs[i] = b.AddNode()
+	}
+	b.AddEdge(src, relay)
+	b.AddEdge(src, hubs[0])
+	b.AddEdge(relay, hubs[0])
+	b.AddEdge(src, hubs[1])
+	b.AddEdge(hubs[0], hubs[1])
+	b.AddEdge(hubs[0], hubs[2])
+	b.AddEdge(hubs[1], hubs[2])
+	b.AddEdge(hubs[1], hubs[3])
+	b.AddEdge(hubs[2], hubs[3])
+
+	mids := make([]int, nMids)
+	for i := range mids {
+		mids[i] = b.AddNode()
+		// One in-edge from a hub: mid-tier nodes have in-degree exactly 1.
+		b.AddEdge(hubs[rng.Intn(len(hubs))], mids[i])
+	}
+	sinks := make([]int, nSinks)
+	for i := range sinks {
+		sinks[i] = b.AddNode()
+	}
+
+	// Sink in-degrees: heavy-tailed. A few mega-sinks (in-degree up to
+	// ~100, the tail of the paper's Figure 6 CDF), a body of moderate
+	// sinks, and a third of the sinks with in-degree exactly one.
+	spenders := append(append([]int(nil), hubs...), mids...)
+	edgeInto := func(v, d int) {
+		seen := map[int]bool{}
+		for len(seen) < d {
+			u := spenders[rng.Intn(len(spenders))]
+			if !seen[u] {
+				seen[u] = true
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for i, v := range sinks {
+		switch {
+		case i < 3: // mega-sinks
+			edgeInto(v, 80+rng.Intn(21))
+		case i < 40:
+			edgeInto(v, 10+rng.Intn(15))
+		case i < 460:
+			edgeInto(v, 2+rng.Intn(4))
+		default:
+			edgeInto(v, 1)
+		}
+	}
+	return b.MustBuild(), src
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RandomDAG returns a random single-source DAG on n nodes: node ranks are a
+// random permutation, each forward pair is an edge with probability p, and
+// every node except the source is guaranteed at least one in-edge so the
+// whole graph participates in propagation. The returned source is the
+// unique in-degree-zero node.
+func RandomDAG(n int, p float64, seed int64) (*graph.Digraph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(perm[i], perm[j])
+			}
+		}
+	}
+	g := b.MustBuild()
+	for j := 1; j < n; j++ {
+		if g.InDegree(perm[j]) == 0 {
+			b.AddEdge(perm[rng.Intn(j)], perm[j])
+		}
+	}
+	return b.MustBuild(), perm[0]
+}
+
+// RandomDigraph returns a random directed graph that may contain cycles:
+// m edges sampled uniformly among ordered pairs (no self-loops, duplicates
+// collapsed). Used to exercise the Acyclic algorithm and SCC machinery.
+func RandomDigraph(n, m int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// PowerLawDAG returns a preferential-attachment DAG: nodes arrive in order
+// and node i attaches outEdges(rng) in-edges to earlier nodes chosen
+// proportionally to (degree + 1), yielding the heavy-tailed in/out degree
+// distributions the paper reports for its real datasets. The first node is
+// the single source.
+func PowerLawDAG(n, edgesPerNode int, seed int64) (*graph.Digraph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// bag holds each existing node once per unit of (degree + 1) mass, the
+	// standard O(1)-sampling trick for preferential attachment.
+	bag := []int{0}
+	for v := 1; v < n; v++ {
+		k := 1 + rng.Intn(2*edgesPerNode) // mean ≈ edgesPerNode + 1/2
+		if k > v {
+			k = v
+		}
+		seen := map[int]bool{}
+		for e := 0; e < k; e++ {
+			u := bag[rng.Intn(len(bag))]
+			if u == v || seen[u] {
+				continue
+			}
+			seen[u] = true
+			b.AddEdge(u, v)
+			bag = append(bag, u, v)
+		}
+		bag = append(bag, v)
+	}
+	return b.MustBuild(), 0
+}
+
+// RandomCTree returns a random communication tree: a uniformly random
+// recursive tree on n non-source nodes with edges directed away from the
+// root, plus a source node that links to the root and, with probability
+// pSource, to each other tree node independently. The returned source id is
+// n (the last node).
+func RandomCTree(n int, pSource float64, seed int64) (g *graph.Digraph, source int) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n + 1)
+	source = n
+	for v := 1; v < n; v++ {
+		b.AddEdge(rng.Intn(v), v) // tree parent among earlier nodes
+	}
+	b.AddEdge(source, 0)
+	for v := 1; v < n; v++ {
+		if rng.Float64() < pSource {
+			b.AddEdge(source, v)
+		}
+	}
+	return b.MustBuild(), source
+}
+
+// Layered generates the paper's §5 synthetic graphs: nodes are assigned
+// uniformly at random to `levels` levels with `perLevel` expected nodes per
+// level, and a directed edge runs from each node in level i to each node in
+// level j > i with probability x/y^(j−i). The paper's two configurations
+// are (x, y) = (1, 4) — about 1K nodes and 32K edges — and (3, 4) — about
+// 1K nodes and 100K edges. A super-source node (the returned source id)
+// feeds every node of the first level.
+func Layered(levels, perLevel int, x, y float64, seed int64) (*graph.Digraph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := levels * perLevel
+	level := make([]int, n)
+	for v := range level {
+		level[v] = rng.Intn(levels)
+	}
+	b := graph.NewBuilder(n + 1)
+	source := n
+	// Probability table per level gap.
+	p := make([]float64, levels)
+	for d := 1; d < levels; d++ {
+		p[d] = x
+		for i := 0; i < d; i++ {
+			p[d] /= y
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			d := level[v] - level[u]
+			if d <= 0 {
+				continue
+			}
+			if rng.Float64() < p[d] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if level[v] == 0 {
+			b.AddEdge(source, v)
+		}
+	}
+	return b.MustBuild(), source
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Digraph. The zero
+// value is a builder for an empty graph; NewBuilder pre-sizes it for a known
+// node count. Builders are not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges [][2]int
+	// allowParallel keeps duplicate (u,v) edges instead of collapsing them.
+	// The propagation model treats parallel edges as independent relay
+	// channels; the paper's graphs are simple, so collapsing is the default.
+	allowParallel bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. More nodes may be
+// added later with Grow or implicitly by AddEdge.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// AllowParallelEdges configures the builder to keep duplicate edges rather
+// than collapsing them. It returns the builder for chaining.
+func (b *Builder) AllowParallelEdges() *Builder {
+	b.allowParallel = true
+	return b
+}
+
+// N returns the current number of nodes.
+func (b *Builder) N() int { return b.n }
+
+// Grow ensures the graph has at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddNode appends a fresh node and returns its id.
+func (b *Builder) AddNode() int {
+	b.n++
+	return b.n - 1
+}
+
+// AddEdge records the directed edge (u, v), growing the node count if
+// needed. Self-loops are recorded as given; Build rejects them because the
+// propagation model has no meaningful interpretation for a node relaying to
+// itself.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node id in edge (%d,%d)", u, v))
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.edges = append(b.edges, [2]int{u, v})
+}
+
+// AddEdges records a batch of directed edges.
+func (b *Builder) AddEdges(edges [][2]int) {
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+}
+
+// Build assembles the immutable Digraph. Unless AllowParallelEdges was
+// called, duplicate edges are collapsed. Build returns an error when a
+// self-loop is present.
+func (b *Builder) Build() (*Digraph, error) {
+	for _, e := range b.edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e[0])
+		}
+	}
+	es := append([][2]int(nil), b.edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	if !b.allowParallel {
+		es = dedupeEdges(es)
+	}
+
+	g := &Digraph{n: b.n}
+	g.outOff = make([]int, b.n+1)
+	g.outAdj = make([]int, len(es))
+	for _, e := range es {
+		g.outOff[e[0]+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+	fill := make([]int, b.n)
+	for _, e := range es {
+		g.outAdj[g.outOff[e[0]]+fill[e[0]]] = e[1]
+		fill[e[0]]++
+	}
+
+	// In-CSR: counting sort of the same edge set keyed by target. A second
+	// pass keyed by (v, u) keeps each in-adjacency list sorted because the
+	// primary sort above already ordered sources ascending.
+	g.inOff = make([]int, b.n+1)
+	g.inAdj = make([]int, len(es))
+	for _, e := range es {
+		g.inOff[e[1]+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for _, e := range es {
+		g.inAdj[g.inOff[e[1]]+fill[e[1]]] = e[0]
+		fill[e[1]]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build for graphs known to be well-formed; it panics on error.
+func (b *Builder) MustBuild() *Digraph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupeEdges(es [][2]int) [][2]int {
+	if len(es) == 0 {
+		return es
+	}
+	out := es[:1]
+	for _, e := range es[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FromEdges builds a graph with n nodes from an explicit edge list. It is a
+// convenience wrapper over Builder for tests and examples.
+func FromEdges(n int, edges [][2]int) (*Digraph, error) {
+	b := NewBuilder(n)
+	b.AddEdges(edges)
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges [][2]int) *Digraph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0→1, 0→2, 1→3, 2→3: neither middle dominates 3; idom(3) = 0.
+	g := MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	idom := g.Dominators(0)
+	want := []int{0, 0, 0, 0}
+	for v, w := range want {
+		if idom[v] != w {
+			t.Errorf("idom[%d] = %d, want %d", v, idom[v], w)
+		}
+	}
+	if !Dominates(idom, 0, 3) || Dominates(idom, 1, 3) {
+		t.Error("dominance queries wrong")
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	// 0→1→2→3: each node dominated by its predecessor.
+	g := MustFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	idom := g.Dominators(0)
+	for v := 1; v < 4; v++ {
+		if idom[v] != v-1 {
+			t.Errorf("idom[%d] = %d, want %d", v, idom[v], v-1)
+		}
+	}
+	counts := DominatedCount(idom)
+	// Node 0 dominates all 4, node 1 dominates 3, etc.
+	for v, want := range []int{4, 3, 2, 1} {
+		if counts[v] != want {
+			t.Errorf("count[%d] = %d, want %d", v, counts[v], want)
+		}
+	}
+}
+
+func TestDominatorsGatewayMotif(t *testing.T) {
+	// Fan into a gateway, then a subtree: 0→{1,2}→3 (gateway), 3→4, 3→5.
+	g := MustFromEdges(6, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5}})
+	idom := g.Dominators(0)
+	if idom[3] != 0 {
+		t.Errorf("idom[gateway] = %d, want 0", idom[3])
+	}
+	if idom[4] != 3 || idom[5] != 3 {
+		t.Error("gateway must immediately dominate its subtree")
+	}
+	counts := DominatedCount(idom)
+	if counts[3] != 3 { // gateway + 2 leaves
+		t.Errorf("gateway dominates %d nodes, want 3", counts[3])
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := MustFromEdges(3, [][2]int{{0, 1}})
+	idom := g.Dominators(0)
+	if idom[2] != -1 {
+		t.Errorf("idom of unreachable node = %d, want -1", idom[2])
+	}
+	if Dominates(idom, 0, 2) {
+		t.Error("root dominates unreachable node")
+	}
+	counts := DominatedCount(idom)
+	if counts[2] != 0 {
+		t.Errorf("unreachable count = %d", counts[2])
+	}
+}
+
+// bruteDominates checks "d dominates v" by deleting d and testing
+// reachability.
+func bruteDominates(g *Digraph, root, d, v int) bool {
+	if d == v {
+		return g.Reachable(root)[v]
+	}
+	if !g.Reachable(root)[v] {
+		return false
+	}
+	if d == root {
+		return true
+	}
+	// BFS from root avoiding d.
+	seen := make([]bool, g.N())
+	seen[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(x) {
+			if w == d || seen[w] {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return !seen[v]
+}
+
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.MustBuild()
+		idom := g.Dominators(0)
+		for d := 0; d < n; d++ {
+			for v := 0; v < n; v++ {
+				if g.Reachable(0)[v] == false {
+					continue
+				}
+				fast := Dominates(idom, d, v)
+				slow := bruteDominates(g, 0, d, v)
+				if fast != slow {
+					t.Logf("seed %d: Dominates(%d,%d) = %v, brute = %v", seed, d, v, fast, slow)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatorsOnCyclicGraph(t *testing.T) {
+	// The CHK algorithm handles cycles: 0→1→2→1, 2→3.
+	g := MustFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 1}, {2, 3}})
+	idom := g.Dominators(0)
+	if idom[1] != 0 || idom[2] != 1 || idom[3] != 2 {
+		t.Errorf("idom = %v", idom)
+	}
+}

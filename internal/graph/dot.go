@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format for visualization.
+// highlight marks nodes to draw filled (e.g. a filter placement); it may be
+// nil. Labels are used when present.
+func WriteDOT(w io.Writer, g *Digraph, name string, highlight []bool) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	for v := 0; v < g.N(); v++ {
+		attrs := []string{fmt.Sprintf("label=%q", g.Label(v))}
+		if highlight != nil && v < len(highlight) && highlight[v] {
+			attrs = append(attrs, `style=filled`, `fillcolor=gold`)
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

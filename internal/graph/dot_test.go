@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := MustFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	g, _ = g.WithLabels([]string{"src", "mid", "dst"})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "toy", []bool{false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "toy"`,
+		`label="mid"`,
+		`fillcolor=gold`,
+		"n0 -> n1;",
+		"n1 -> n2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Only one highlighted node.
+	if strings.Count(out, "fillcolor") != 1 {
+		t.Errorf("highlight count wrong:\n%s", out)
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := MustFromEdges(2, [][2]int{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "G"`) {
+		t.Errorf("default name missing:\n%s", buf.String())
+	}
+}

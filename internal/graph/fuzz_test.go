@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics on arbitrary input, and
+// that accepted inputs survive a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\nalpha beta\n\nbeta gamma\n")
+	f.Add("9 9\n")
+	f.Add("a  b\t\n")
+	f.Add("0 1 2\n")
+	f.Add(strings.Repeat("1 2\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed edge count %d → %d", g.M(), g2.M())
+		}
+	})
+}
+
+// FuzzBuilder checks that arbitrary edge batches either build a consistent
+// graph or fail cleanly (self-loops).
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{3, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder(0)
+		selfLoop := false
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i]%32), int(data[i+1]%32)
+			b.AddEdge(u, v)
+			if u == v {
+				selfLoop = true
+			}
+		}
+		g, err := b.Build()
+		if selfLoop {
+			if err == nil {
+				t.Fatal("self-loop accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("clean input rejected: %v", err)
+		}
+		// CSR consistency: out and in edge counts agree and every edge is
+		// visible from both sides.
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Out(u) {
+				found := false
+				for _, p := range g.In(v) {
+					if p == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("edge (%d,%d) missing from in-adjacency", u, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format.
+//
+// One edge per line, "u v", whitespace separated. Lines starting with '#'
+// are comments; blank lines are skipped. Node tokens may be arbitrary
+// strings: purely numeric token sets are mapped to their numeric ids when
+// every token is a valid non-negative integer (so files written by
+// WriteEdgeList round-trip exactly); otherwise tokens are interned in first-
+// appearance order and kept as labels.
+
+// ReadEdgeList parses the edge-list format described in the package
+// documentation from r.
+func ReadEdgeList(r io.Reader) (*Digraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type rawEdge struct{ u, v string }
+	var raw []rawEdge
+	numeric := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		raw = append(raw, rawEdge{fields[0], fields[1]})
+		if numeric {
+			for _, f := range fields {
+				if !isUint(f) {
+					numeric = false
+					break
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+
+	b := NewBuilder(0)
+	if numeric {
+		for _, e := range raw {
+			u, _ := strconv.Atoi(e.u)
+			v, _ := strconv.Atoi(e.v)
+			b.AddEdge(u, v)
+		}
+		return b.Build()
+	}
+	intern := make(map[string]int)
+	var labels []string
+	id := func(tok string) int {
+		if i, ok := intern[tok]; ok {
+			return i
+		}
+		i := len(labels)
+		intern[tok] = i
+		labels = append(labels, tok)
+		return i
+	}
+	for _, e := range raw {
+		b.AddEdge(id(e.u), id(e.v))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.labels = labels
+	return g, nil
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadWeightedEdgeList parses a three-column variant of the edge-list
+// format: "u v p" per line, where p ∈ [0, 1] is the relay probability of
+// the edge (the probabilistic model of paper §3). Comments and blank lines
+// are skipped as in ReadEdgeList; node tokens follow the same numeric/label
+// rules. It returns the graph and a weight lookup suitable for
+// Model.WithWeights (1.0 for edges not present, which cannot occur when the
+// lookup is used with the same graph).
+func ReadWeightedEdgeList(r io.Reader) (*Digraph, func(u, v int) float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type rawEdge struct {
+		u, v string
+		p    float64
+	}
+	var raw []rawEdge
+	numeric := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 3 fields (u v p), got %d", lineNo, len(fields))
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, nil, fmt.Errorf("graph: line %d: bad probability %q", lineNo, fields[2])
+		}
+		raw = append(raw, rawEdge{fields[0], fields[1], p})
+		if numeric && (!isUint(fields[0]) || !isUint(fields[1])) {
+			numeric = false
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading weighted edge list: %w", err)
+	}
+
+	b := NewBuilder(0)
+	weights := make(map[[2]int]float64, len(raw))
+	var labels []string
+	intern := make(map[string]int)
+	id := func(tok string) int {
+		if numeric {
+			n, _ := strconv.Atoi(tok)
+			return n
+		}
+		if i, ok := intern[tok]; ok {
+			return i
+		}
+		i := len(labels)
+		intern[tok] = i
+		labels = append(labels, tok)
+		return i
+	}
+	for _, e := range raw {
+		u, v := id(e.u), id(e.v)
+		b.AddEdge(u, v)
+		weights[[2]int{u, v}] = e.p
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !numeric {
+		g.labels = labels
+	}
+	lookup := func(u, v int) float64 {
+		if p, ok := weights[[2]int{u, v}]; ok {
+			return p
+		}
+		return 1
+	}
+	return g, lookup, nil
+}
+
+// WriteEdgeList writes the graph in edge-list format. When the graph has
+// labels, labels are written instead of numeric ids.
+func WriteEdgeList(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			var err error
+			if g.HasLabels() {
+				_, err = fmt.Fprintf(bw, "%s %s\n", g.Label(u), g.Label(v))
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

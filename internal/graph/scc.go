@@ -1,0 +1,99 @@
+package graph
+
+// SCC computes the strongly connected components of the graph with Tarjan's
+// algorithm (iterative, so deep graphs do not overflow the goroutine stack).
+// It returns comp[v] = component id and the number of components. Component
+// ids are assigned in reverse topological order of the condensation: if
+// there is an edge from component a to component b (a != b) then
+// comp id of a > comp id of b.
+func (g *Digraph) SCC() (comp []int, ncomp int) {
+	const unvisited = -1
+	comp = make([]int, g.n)
+	low := make([]int, g.n)
+	num := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range comp {
+		comp[i] = unvisited
+		num[i] = unvisited
+	}
+	var tarjanStack []int
+	clock := 0
+
+	type frame struct {
+		v    int
+		next int
+	}
+	for root := 0; root < g.n; root++ {
+		if num[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: root}}
+		num[root] = clock
+		low[root] = clock
+		clock++
+		tarjanStack = append(tarjanStack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			adj := g.Out(f.v)
+			recursed := false
+			for f.next < len(adj) {
+				w := adj[f.next]
+				f.next++
+				if num[w] == unvisited {
+					num[w] = clock
+					low[w] = clock
+					clock++
+					tarjanStack = append(tarjanStack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+					recursed = true
+					break
+				}
+				if onStack[w] && num[w] < low[f.v] {
+					low[f.v] = num[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == num[v] {
+				for {
+					w := tarjanStack[len(tarjanStack)-1]
+					tarjanStack = tarjanStack[:len(tarjanStack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Condensation returns the DAG of strongly connected components along with
+// the comp mapping from SCC. Node i of the condensation corresponds to
+// component i.
+func (g *Digraph) Condensation() (*Digraph, []int) {
+	comp, ncomp := g.SCC()
+	b := NewBuilder(ncomp)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(u) {
+			if comp[u] != comp[v] {
+				b.AddEdge(comp[u], comp[v])
+			}
+		}
+	}
+	return b.MustBuild(), comp
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "errors"
+
+// ErrCyclic is returned by DAG-only operations when the graph contains a
+// directed cycle.
+var ErrCyclic = errors.New("graph: directed cycle present")
+
+// TopoOrder returns a topological order of all nodes (Kahn's algorithm,
+// smallest-id-first among ready nodes so the order is deterministic). It
+// returns ErrCyclic when the graph has a directed cycle.
+func (g *Digraph) TopoOrder() ([]int, error) {
+	indeg := g.InDegrees()
+	// Min-ordered ready "queue": a simple bucket of ready nodes scanned in
+	// insertion order would suffice for correctness, but deterministic
+	// output across builds makes tests and experiments reproducible, so we
+	// keep the ready set as a binary heap keyed by node id.
+	h := &intHeap{}
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			h.push(v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for h.len() > 0 {
+		v := h.pop()
+		order = append(order, v)
+		for _, w := range g.Out(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				h.push(w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// TopoRank returns rank[v] = position of v in a deterministic topological
+// order, or ErrCyclic for cyclic graphs.
+func (g *Digraph) TopoRank() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int, g.n)
+	for i, v := range order {
+		rank[v] = i
+	}
+	return rank, nil
+}
+
+// intHeap is a minimal binary min-heap of ints. It avoids container/heap's
+// interface indirection on this hot path.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,137 @@
+package graph
+
+// Reachable returns the set of nodes reachable from the given roots by
+// directed paths, including the roots themselves. The result is a boolean
+// mask of length N().
+func (g *Digraph) Reachable(roots ...int) []bool {
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Out(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// CountReachable returns the number of nodes reachable from roots (roots
+// included).
+func (g *Digraph) CountReachable(roots ...int) int {
+	n := 0
+	for _, ok := range g.Reachable(roots...) {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// BFSLevels returns level[v] = BFS distance from root (-1 when v is
+// unreachable) and the nodes of each level in ascending id order.
+func (g *Digraph) BFSLevels(root int) (level []int, levels [][]int) {
+	level = make([]int, g.n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []int{root}
+	levels = append(levels, frontier)
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Out(v) {
+				if level[w] < 0 {
+					level[w] = level[v] + 1
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, next)
+		frontier = next
+	}
+	return level, levels
+}
+
+// DFSTree holds the result of a depth-first traversal from a single root:
+// the tree edges, each node's parent in the DFS tree (-1 for the root and
+// for unvisited nodes), and discovery times (σ in the paper's Acyclic
+// algorithm; -1 for unvisited nodes).
+type DFSTree struct {
+	Root      int
+	Parent    []int
+	Discovery []int
+	// Order lists visited nodes in discovery order.
+	Order []int
+}
+
+// DFS performs an iterative depth-first traversal from root, visiting
+// out-neighbors in ascending id order, and returns the resulting tree.
+func (g *Digraph) DFS(root int) *DFSTree {
+	t := &DFSTree{
+		Root:      root,
+		Parent:    make([]int, g.n),
+		Discovery: make([]int, g.n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Discovery[i] = -1
+	}
+	type frame struct {
+		v    int
+		next int // index into g.Out(v)
+	}
+	t.Discovery[root] = 0
+	t.Order = append(t.Order, root)
+	clock := 1
+	stack := []frame{{v: root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		adj := g.Out(f.v)
+		advanced := false
+		for f.next < len(adj) {
+			w := adj[f.next]
+			f.next++
+			if t.Discovery[w] < 0 {
+				t.Discovery[w] = clock
+				clock++
+				t.Parent[w] = f.v
+				t.Order = append(t.Order, w)
+				stack = append(stack, frame{v: w})
+				advanced = true
+				break
+			}
+		}
+		if !advanced && f.next >= len(adj) {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return t
+}
+
+// TreeEdges returns the DFS tree's edges (parent, child).
+func (t *DFSTree) TreeEdges() [][2]int {
+	var es [][2]int
+	for v, p := range t.Parent {
+		if p >= 0 {
+			es = append(es, [2]int{p, v})
+		}
+	}
+	return es
+}
+
+// Visited reports whether v was reached by the traversal.
+func (t *DFSTree) Visited(v int) bool { return t.Discovery[v] >= 0 }

@@ -1,0 +1,173 @@
+// Package reductions implements the paper's two NP-completeness
+// constructions as executable graph builders, so the hardness arguments can
+// be exercised and tested rather than only stated:
+//
+//   - Theorem 1: SetCover → FP on general (cyclic) c-graphs. Every universe
+//     element becomes a directed cycle through the nodes of the sets that
+//     contain it; propagation stays finite exactly when the chosen filters
+//     hit every cycle, i.e. when the chosen sets cover the universe.
+//   - Theorem 2: VertexCover → FP on DAGs. Every edge of the undirected
+//     graph is oriented by a fixed node order and replaced by an m-way
+//     "multiplier" gadget (the paper's Figure 12); copies explode as Θ(m³)
+//     across any edge whose endpoints are both unfiltered, and stay O(m²)
+//     otherwise, so a Φ threshold separates vertex covers from non-covers.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SetCoverInstance is a universe {0, …, M−1} and a family of subsets.
+type SetCoverInstance struct {
+	M    int
+	Sets [][]int
+}
+
+// Validate checks element ranges.
+func (inst SetCoverInstance) Validate() error {
+	for i, s := range inst.Sets {
+		for _, u := range s {
+			if u < 0 || u >= inst.M {
+				return fmt.Errorf("reductions: set %d contains out-of-range element %d", i, u)
+			}
+		}
+	}
+	return nil
+}
+
+// IsCover reports whether the chosen set indices cover the whole universe.
+func (inst SetCoverInstance) IsCover(pick []int) bool {
+	covered := make([]bool, inst.M)
+	for _, i := range pick {
+		for _, u := range inst.Sets[i] {
+			covered[u] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// SetCoverToFP builds the Theorem-1 c-graph: one node per set, a directed
+// cycle per universe element through the nodes of the sets containing it
+// (consecutive in index order, closed with a wrap-around edge), and a
+// source node with an edge to every set node. It returns the graph, the
+// source id, and setNode[i] = node id of set i.
+//
+// An element contained in fewer than two sets induces no cycle (a
+// single-node "cycle" would be a self-loop); the reduction's finiteness
+// criterion therefore tracks covers exactly on instances where every
+// element belongs to at least two sets, which is the regime the NP-hardness
+// argument uses.
+func SetCoverToFP(inst SetCoverInstance) (*graph.Digraph, int, []int, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, -1, nil, err
+	}
+	n := len(inst.Sets)
+	b := graph.NewBuilder(n + 1)
+	source := n
+	setNode := make([]int, n)
+	for i := range setNode {
+		setNode[i] = i
+		b.AddEdge(source, i)
+	}
+	members := make([][]int, inst.M)
+	for i, s := range inst.Sets {
+		for _, u := range s {
+			members[u] = append(members[u], i)
+		}
+	}
+	for _, ms := range members {
+		if len(ms) < 2 {
+			continue
+		}
+		for j := 0; j+1 < len(ms); j++ {
+			b.AddEdge(ms[j], ms[j+1])
+		}
+		b.AddEdge(ms[len(ms)-1], ms[0])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, -1, nil, err
+	}
+	return g, source, setNode, nil
+}
+
+// VertexCoverInstance is an undirected graph on nodes {0, …, N−1}.
+type VertexCoverInstance struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks node ranges and rejects self-loops.
+func (inst VertexCoverInstance) Validate() error {
+	for _, e := range inst.Edges {
+		if e[0] < 0 || e[0] >= inst.N || e[1] < 0 || e[1] >= inst.N {
+			return fmt.Errorf("reductions: edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("reductions: self-loop %v", e)
+		}
+	}
+	return nil
+}
+
+// IsVertexCover reports whether every edge has an endpoint in pick.
+func (inst VertexCoverInstance) IsVertexCover(pick []int) bool {
+	in := make([]bool, inst.N)
+	for _, v := range pick {
+		in[v] = true
+	}
+	for _, e := range inst.Edges {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexCoverToFP builds the Theorem-2 DAG with multiplier parameter m ≥ 2
+// (the paper takes m polynomially huge; tests use small m and compare Φ
+// thresholds directly). Construction: original nodes keep ids 0..N−1;
+// node N is the source s and node N+1 the sink t; every undirected edge is
+// oriented low→high; every resulting edge — including s→v and v→t for all
+// v — is replaced by m parallel two-hop paths through fresh gadget nodes.
+// It returns the graph, the source and sink ids.
+func VertexCoverToFP(inst VertexCoverInstance, m int) (*graph.Digraph, int, int, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, -1, -1, err
+	}
+	if m < 2 {
+		return nil, -1, -1, fmt.Errorf("reductions: multiplier m = %d, need ≥ 2", m)
+	}
+	b := graph.NewBuilder(inst.N + 2)
+	source, sink := inst.N, inst.N+1
+	multiplier := func(u, v int) {
+		for i := 0; i < m; i++ {
+			w := b.AddNode()
+			b.AddEdge(u, w)
+			b.AddEdge(w, v)
+		}
+	}
+	for v := 0; v < inst.N; v++ {
+		multiplier(source, v)
+		multiplier(v, sink)
+	}
+	for _, e := range inst.Edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		multiplier(u, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, -1, -1, err
+	}
+	return g, source, sink, nil
+}

@@ -1,0 +1,189 @@
+package reductions
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// combinations invokes fn with every size-k subset of {0..n-1}.
+func combinations(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, i int)
+	rec = func(start, i int) {
+		if i == k {
+			fn(idx)
+			return
+		}
+		for v := start; v < n; v++ {
+			idx[i] = v
+			rec(v+1, i+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func TestSetCoverReductionFiniteness(t *testing.T) {
+	// Universe {0..4}; each element in ≥ 2 sets. Minimum cover is
+	// {S0, S2} (size 2).
+	inst := SetCoverInstance{
+		M: 5,
+		Sets: [][]int{
+			{0, 1, 2},
+			{0, 3},
+			{3, 4},
+			{1, 2, 4},
+		},
+	}
+	g, source, setNode, err := SetCoverToFP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsDAG() {
+		t.Fatal("Theorem-1 construction must contain cycles")
+	}
+	// For every k and subset: propagation is finite ⟺ the subset covers.
+	for k := 1; k <= 3; k++ {
+		combinations(len(inst.Sets), k, func(pick []int) {
+			filters := make([]bool, g.N())
+			for _, i := range pick {
+				filters[setNode[i]] = true
+			}
+			sim, err := flow.NewSimulator(g, []int{source})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.MaxEvents = 200000
+			_, err = sim.Run(filters)
+			finite := err == nil
+			if cover := inst.IsCover(pick); cover != finite {
+				t.Errorf("pick %v: cover=%v but finite=%v", pick, cover, finite)
+			}
+		})
+	}
+}
+
+func TestSetCoverSingletonElementNoCycle(t *testing.T) {
+	inst := SetCoverInstance{M: 1, Sets: [][]int{{0}}}
+	g, _, _, err := SetCoverToFP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Error("singleton element must not create a cycle")
+	}
+}
+
+func TestSetCoverValidate(t *testing.T) {
+	bad := SetCoverInstance{M: 2, Sets: [][]int{{0, 5}}}
+	if _, _, _, err := SetCoverToFP(bad); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+func TestVertexCoverReductionThreshold(t *testing.T) {
+	// Path graph 0—1—2—3: minimum vertex cover {1, 2} (size 2).
+	inst := VertexCoverInstance{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	const m = 6
+	g, source, _, err := VertexCoverToFP(inst, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Fatal("Theorem-2 construction must be a DAG")
+	}
+	model, err := flow.NewModel(g, []int{source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := flow.NewBig(model)
+
+	// Over all vertex subsets of size 2: Φ must cleanly separate covers
+	// from non-covers.
+	maxCover, minNonCover := 0.0, math.Inf(1)
+	combinations(inst.N, 2, func(pick []int) {
+		filters := make([]bool, g.N())
+		for _, v := range pick {
+			filters[v] = true
+		}
+		phi := ev.Phi(filters)
+		if inst.IsVertexCover(pick) {
+			if phi > maxCover {
+				maxCover = phi
+			}
+		} else if phi < minNonCover {
+			minNonCover = phi
+		}
+	})
+	if maxCover == 0 || math.IsInf(minNonCover, 1) {
+		t.Fatal("test instance must contain both covers and non-covers")
+	}
+	if maxCover >= minNonCover {
+		t.Errorf("no threshold: max over covers %v ≥ min over non-covers %v", maxCover, minNonCover)
+	}
+	// The separation grows like m: worst cover is O(m²)·|structure| while
+	// any uncovered edge contributes Ω(m³).
+	if minNonCover/maxCover < 1.5 {
+		t.Errorf("separation too weak: %v vs %v", maxCover, minNonCover)
+	}
+}
+
+func TestVertexCoverTriangleNeedsTwo(t *testing.T) {
+	// Triangle: no single vertex covers all edges; Φ over all 1-subsets
+	// must exceed Φ of the best 2-subset.
+	inst := VertexCoverInstance{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	g, source, _, err := VertexCoverToFP(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := flow.NewBig(flow.MustModel(g, []int{source}))
+	best1 := math.Inf(1)
+	combinations(3, 1, func(pick []int) {
+		if phi := ev.Phi(flow.MaskOf(g.N(), pick)); phi < best1 {
+			best1 = phi
+		}
+	})
+	best2 := math.Inf(1)
+	combinations(3, 2, func(pick []int) {
+		if phi := ev.Phi(flow.MaskOf(g.N(), pick)); phi < best2 {
+			best2 = phi
+		}
+	})
+	if best2 >= best1 {
+		t.Errorf("two filters (a cover) should beat one: %v vs %v", best2, best1)
+	}
+}
+
+func TestVertexCoverValidate(t *testing.T) {
+	if _, _, _, err := VertexCoverToFP(VertexCoverInstance{N: 2, Edges: [][2]int{{0, 0}}}, 3); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, _, _, err := VertexCoverToFP(VertexCoverInstance{N: 2, Edges: [][2]int{{0, 1}}}, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, _, _, err := VertexCoverToFP(VertexCoverInstance{N: 2, Edges: [][2]int{{0, 7}}}, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestVertexCoverGraphSize(t *testing.T) {
+	inst := VertexCoverInstance{N: 3, Edges: [][2]int{{0, 1}}}
+	m := 4
+	g, source, sink, err := VertexCoverToFP(inst, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: 3 original + s + t + m per multiplied edge; multiplied edges:
+	// 3 source + 3 sink + 1 original = 7.
+	wantN := 3 + 2 + 7*m
+	if g.N() != wantN {
+		t.Errorf("N = %d, want %d", g.N(), wantN)
+	}
+	if g.M() != 7*m*2 {
+		t.Errorf("M = %d, want %d", g.M(), 14*m)
+	}
+	if g.OutDegree(sink) != 0 || g.InDegree(source) != 0 {
+		t.Error("source/sink degrees wrong")
+	}
+}
