@@ -1,0 +1,107 @@
+// Command fpd is the filter-placement daemon: a long-running HTTP/JSON
+// service over the fp library. It keeps an LRU-bounded registry of uploaded
+// or generated communication graphs, answers cheap placement heuristics
+// synchronously, and runs expensive greedy placements on an async worker
+// pool with a result cache.
+//
+// Usage:
+//
+//	fpd -addr :8080 -workers 8 -max-graphs 64 -cache-size 512
+//
+// Endpoints (see internal/server for the full API):
+//
+//	POST   /v1/graphs                upload an edge list or generator spec
+//	GET    /v1/graphs/{id}           graph info and stats
+//	POST   /v1/graphs/{id}/place     place filters (202 + job for greedy)
+//	GET    /v1/graphs/{id}/evaluate  Φ and FR for an explicit filter set
+//	GET    /v1/jobs/{id}             poll an async placement job
+//	DELETE /v1/jobs/{id}             cancel a job
+//	GET    /healthz, /metrics        liveness and counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, running
+// jobs are canceled, and the worker pool exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "fpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled or the listener
+// fails. It is main() minus process concerns, so tests can drive it.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
+		queue     = fs.Int("queue", 64, "pending-job queue depth")
+		maxJobs   = fs.Int("max-jobs", 1024, "retained job records (older terminal jobs are pruned)")
+		maxGraphs = fs.Int("max-graphs", 32, "graph registry capacity (LRU)")
+		cacheSize = fs.Int("cache-size", 256, "placement result cache capacity (LRU)")
+		grace     = fs.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+		quiet     = fs.Bool("q", false, "disable request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(stderr, "", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxJobs:    *maxJobs,
+		MaxGraphs:  *maxGraphs,
+		CacheSize:  *cacheSize,
+		Logger:     reqLogger,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	logger.Printf("fpd: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("fpd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

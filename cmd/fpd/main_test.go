@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe io.Writer for capturing daemon logs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, hits
+// /healthz, and checks that canceling the context shuts it down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var logs syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-q"}, &logs)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(logs.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never reported its address")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(logs.String(), "shutting down") {
+		t.Errorf("missing shutdown log:\n%s", logs.String())
+	}
+}
+
+func TestRunFlagAndListenErrors(t *testing.T) {
+	var logs syncBuffer
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &logs); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &logs); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke runs the real main() on a success path (-list exercises
+// the experiment index without running anything expensive).
+func TestMainSmoke(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"fpexp", "-list"}
+	main()
+}

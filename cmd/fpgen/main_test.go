@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMainSmoke runs the real main() on a success path, so the binary
+// wrapper itself (arg wiring, exit-free happy path) is covered.
+func TestMainSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig1.edges")
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"fpgen", "-dataset", "fig1", "-out", out}
+	main()
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty edge list written")
+	}
+}

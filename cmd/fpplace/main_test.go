@@ -1,0 +1,19 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMainSmoke runs the real main() end-to-end on a tiny graph.
+func TestMainSmoke(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "diamond.edges")
+	if err := os.WriteFile(in, []byte("0 1\n0 2\n1 3\n2 3\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"fpplace", "-in", in, "-k", "1", "-q"}
+	main()
+}

@@ -41,6 +41,7 @@
 package fp
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -154,12 +155,24 @@ func AllFilters(m *Model) []bool { return flow.AllFilters(m) }
 // exact marginal-gain maximization, O(k·|E|) total.
 func GreedyAll(ev Evaluator, k int) []int { return core.GreedyAll(ev, k) }
 
+// GreedyAllCtx is GreedyAll with a cancellation check between rounds; it
+// returns ctx.Err() when canceled mid-placement.
+func GreedyAllCtx(ctx context.Context, ev Evaluator, k int) ([]int, error) {
+	return core.GreedyAllCtx(ctx, ev, k)
+}
+
 // OracleStats counts objective evaluations spent by a greedy variant.
 type OracleStats = core.OracleStats
 
 // GreedyAllCELF is GreedyAll with CELF lazy evaluation; identical output,
 // counted gain evaluations.
 func GreedyAllCELF(ev Evaluator, k int) ([]int, OracleStats) { return core.GreedyAllCELF(ev, k) }
+
+// GreedyAllCELFCtx is GreedyAllCELF with a cancellation check on every
+// lazy-evaluation step.
+func GreedyAllCELFCtx(ctx context.Context, ev Evaluator, k int) ([]int, OracleStats, error) {
+	return core.GreedyAllCELFCtx(ctx, ev, k)
+}
 
 // GreedyMax computes all impacts once and keeps the top k (paper's
 // Greedy_Max).

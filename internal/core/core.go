@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -25,10 +26,21 @@ import (
 // forward and one backward topological pass per iteration (O(k·|E|) total),
 // improving on the paper's O(k·Δ·|E|) plist bookkeeping.
 func GreedyAll(ev flow.Evaluator, k int) []int {
+	chosen, _ := GreedyAllCtx(context.Background(), ev, k)
+	return chosen
+}
+
+// GreedyAllCtx is GreedyAll with a cancellation check between greedy
+// rounds, for callers (like the fpd job engine) that must abort long
+// placements promptly. It returns ctx.Err() when canceled.
+func GreedyAllCtx(ctx context.Context, ev flow.Evaluator, k int) ([]int, error) {
 	n := ev.Model().N()
 	filters := make([]bool, n)
 	chosen := make([]int, 0, k)
 	for len(chosen) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v, gain := ev.ArgmaxImpact(filters, filters)
 		if v < 0 || gain <= 0 {
 			break // no further filter reduces multiplicity
@@ -36,7 +48,7 @@ func GreedyAll(ev flow.Evaluator, k int) []int {
 		filters[v] = true
 		chosen = append(chosen, v)
 	}
-	return chosen
+	return chosen, nil
 }
 
 // OracleStats counts objective-function work done by an algorithm, used by
@@ -92,6 +104,16 @@ func GreedyAllNaive(ev flow.Evaluator, k int) ([]int, OracleStats) {
 // It returns the same filter set as GreedyAll, typically with far fewer
 // gain evaluations than GreedyAllNaive.
 func GreedyAllCELF(ev flow.Evaluator, k int) ([]int, OracleStats) {
+	chosen, st, _ := GreedyAllCELFCtx(context.Background(), ev, k)
+	return chosen, st
+}
+
+// GreedyAllCELFCtx is GreedyAllCELF with a cancellation check on every
+// heap pop, returning ctx.Err() when canceled.
+func GreedyAllCELFCtx(ctx context.Context, ev flow.Evaluator, k int) ([]int, OracleStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, OracleStats{}, err
+	}
 	n := ev.Model().N()
 	m := ev.Model()
 	filters := make([]bool, n)
@@ -156,6 +178,9 @@ func GreedyAllCELF(ev flow.Evaluator, k int) ([]int, OracleStats) {
 	}
 	round := 0
 	for len(chosen) < k && len(heap) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		top := popHeap()
 		if top.stamp == round {
 			// Fresh: by submodularity no other node can beat it.
@@ -175,7 +200,7 @@ func GreedyAllCELF(ev flow.Evaluator, k int) ([]int, OracleStats) {
 			pushHeap(entry{gain, top.v, round})
 		}
 	}
-	return chosen, st
+	return chosen, st, nil
 }
 
 // GreedyMax is the paper's Greedy_Max heuristic: compute every node's

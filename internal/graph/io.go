@@ -53,8 +53,13 @@ func ReadEdgeList(r io.Reader) (*Digraph, error) {
 	b := NewBuilder(0)
 	if numeric {
 		for _, e := range raw {
-			u, _ := strconv.Atoi(e.u)
-			v, _ := strconv.Atoi(e.v)
+			u, uerr := strconv.Atoi(e.u)
+			v, verr := strconv.Atoi(e.v)
+			if uerr != nil || verr != nil {
+				// isUint accepted the digits, so only range overflow
+				// lands here; silently wrapping would corrupt the ids.
+				return nil, fmt.Errorf("graph: node id out of range in edge %q %q", e.u, e.v)
+			}
 			b.AddEdge(u, v)
 		}
 		return b.Build()
@@ -137,9 +142,13 @@ func ReadWeightedEdgeList(r io.Reader) (*Digraph, func(u, v int) float64, error)
 	weights := make(map[[2]int]float64, len(raw))
 	var labels []string
 	intern := make(map[string]int)
+	var idErr error
 	id := func(tok string) int {
 		if numeric {
-			n, _ := strconv.Atoi(tok)
+			n, err := strconv.Atoi(tok)
+			if err != nil && idErr == nil { // range overflow (isUint passed)
+				idErr = fmt.Errorf("graph: node id %q out of range", tok)
+			}
 			return n
 		}
 		if i, ok := intern[tok]; ok {
@@ -152,6 +161,9 @@ func ReadWeightedEdgeList(r io.Reader) (*Digraph, func(u, v int) float64, error)
 	}
 	for _, e := range raw {
 		u, v := id(e.u), id(e.v)
+		if idErr != nil {
+			return nil, nil, idErr
+		}
 		b.AddEdge(u, v)
 		weights[[2]int{u, v}] = e.p
 	}

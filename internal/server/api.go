@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("fpd: encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.RequestErrors.Add(1)
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleCreateGraph is POST /v1/graphs: upload an edge list or instantiate
+// a generator, validate it as a propagation model, and register it.
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if !s.decodeBody(w, r, &spec) {
+		return
+	}
+	g, sources, err := spec.Build()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "graph spec: %v", err)
+		return
+	}
+	m, err := flow.NewModel(g, sources)
+	if err != nil {
+		// Cyclic uploads and bad sources are client errors: the model
+		// semantics require a DAG (use the library's Acyclic extraction
+		// offline for cyclic datasets).
+		s.writeError(w, http.StatusUnprocessableEntity, "invalid model: %v", err)
+		return
+	}
+	info := s.registry.Add(spec.Name, m)
+	w.Header().Set("Location", "/v1/graphs/"+info.ID)
+	s.writeJSON(w, http.StatusCreated, info)
+}
+
+// handleListGraphs is GET /v1/graphs.
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
+}
+
+// handleGetGraph is GET /v1/graphs/{id}.
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, info, ok := s.registry.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleDeleteGraph is DELETE /v1/graphs/{id}.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Delete(id) {
+		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// resolveModel returns the model to evaluate: the registered one, or a
+// fresh model over the same immutable graph when the request overrides the
+// sources.
+func resolveModel(m *flow.Model, sources []int) (*flow.Model, []int, error) {
+	if len(sources) == 0 {
+		return m, m.Sources(), nil
+	}
+	override, err := flow.NewModel(m.Graph(), sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	return override, override.Sources(), nil
+}
+
+// handlePlace is POST /v1/graphs/{id}/place. Cheap heuristics run inline
+// and return 200; expensive greedy algorithms consult the result cache
+// (hit ⇒ 200 with the cached result) and otherwise enqueue a job and
+// return 202 with its location.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, _, ok := s.registry.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	var spec PlaceSpec
+	if !s.decodeBody(w, r, &spec) {
+		return
+	}
+	algo, err := spec.validate(m)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "place spec: %v", err)
+		return
+	}
+	m, sources, err := resolveModel(m, spec.Sources)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "sources override: %v", err)
+		return
+	}
+
+	if !algo.async {
+		res, err := spec.execute(r.Context(), algo, m, id)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "placement: %v", err)
+			return
+		}
+		s.metrics.SyncPlacements.Add(1)
+		s.writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	key := spec.cacheKey(id, sources)
+	if res, ok := s.cache.get(key); ok {
+		s.writeJSON(w, http.StatusOK, res)
+		return
+	}
+	job, err := s.jobs.Submit(id, spec, algo, m, key)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.writeError(w, http.StatusServiceUnavailable, "%v; retry later", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	s.writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleEvaluate is GET /v1/graphs/{id}/evaluate?filters=3,17,42: report
+// Φ(∅,V), Φ(A,V), F(A) and the Filter Ratio for an explicit filter mask.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, _, ok := s.registry.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	filters, err := parseNodeList(r.URL.Query().Get("filters"), m.N())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "filters: %v", err)
+		return
+	}
+	if srcParam := r.URL.Query().Get("sources"); srcParam != "" {
+		sources, err := parseNodeList(srcParam, m.N())
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "sources: %v", err)
+			return
+		}
+		if m, _, err = resolveModel(m, sources); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "sources override: %v", err)
+			return
+		}
+	}
+	ev := flow.NewFloat(m)
+	mask := flow.MaskOf(m.N(), filters)
+	s.metrics.Evaluations.Add(1)
+	s.writeJSON(w, http.StatusOK, &PlaceResult{
+		GraphID:   id,
+		Algorithm: "evaluate",
+		K:         len(filters),
+		Filters:   filters,
+		PhiEmpty:  ev.Phi(nil),
+		PhiA:      ev.Phi(mask),
+		F:         ev.F(mask),
+		FR:        flow.FR(ev, mask),
+	})
+}
+
+// parseNodeList parses "3,17,42" into node ids, checking range and
+// rejecting duplicates. An empty string is the empty set.
+func parseNodeList(s string, n int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{}, nil
+	}
+	parts := strings.Split(s, ",")
+	nodes := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", p)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("node %d outside [0, %d)", v, n)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate node %d", v)
+		}
+		seen[v] = true
+		nodes = append(nodes, v)
+	}
+	return nodes, nil
+}
+
+// handleListJobs is GET /v1/jobs.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+// handleGetJob is GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.jobs.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleCancelJob is DELETE /v1/jobs/{id}: request cancellation and return
+// the job's current state.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.jobs.Cancel(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"graphs": s.registry.Len(),
+	})
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

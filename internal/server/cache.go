@@ -1,0 +1,47 @@
+package server
+
+import "sync"
+
+// resultCache is an LRU cache of completed placement results, keyed by
+// PlaceSpec.cacheKey. It makes repeated expensive queries O(1): the job
+// API answers a cache hit inline instead of enqueueing a duplicate job.
+type resultCache struct {
+	mu      sync.Mutex
+	entries *lruMap[string, *PlaceResult]
+	metrics *Metrics
+}
+
+func newResultCache(capacity int, m *Metrics) *resultCache {
+	return &resultCache{entries: newLRUMap[string, *PlaceResult](capacity), metrics: m}
+}
+
+// get returns a copy of the cached result with Cached set, counting a hit
+// or a miss.
+func (c *resultCache) get(key string) (*PlaceResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cached, ok := c.entries.get(key)
+	if !ok {
+		c.metrics.CacheMisses.Add(1)
+		return nil, false
+	}
+	c.metrics.CacheHits.Add(1)
+	res := *cached
+	res.Cached = true
+	return &res, true
+}
+
+// put stores a result, evicting the least-recently-used entry beyond
+// capacity.
+func (c *resultCache) put(key string, res *PlaceResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries.put(key, res)
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.len()
+}

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// JobState is the lifecycle of an asynchronous placement job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrClosed is returned by Submit after the engine has shut down.
+var ErrClosed = errors.New("server: job engine closed")
+
+// JobInfo is the JSON view of a job served by GET /v1/jobs/{id}.
+type JobInfo struct {
+	ID        string       `json:"id"`
+	GraphID   string       `json:"graph_id"`
+	Spec      PlaceSpec    `json:"spec"`
+	State     JobState     `json:"state"`
+	Error     string       `json:"error,omitempty"`
+	Result    *PlaceResult `json:"result,omitempty"`
+	Created   time.Time    `json:"created_at"`
+	Started   *time.Time   `json:"started_at,omitempty"`
+	Finished  *time.Time   `json:"finished_at,omitempty"`
+	ElapsedMS int64        `json:"elapsed_ms,omitempty"`
+}
+
+// job is the engine-internal record; every field after construction is
+// guarded by the engine mutex except the immutable inputs.
+type job struct {
+	id      string
+	graphID string
+	spec    PlaceSpec
+	algo    algoSpec
+	model   *flow.Model
+	key     string
+
+	state    JobState
+	result   *PlaceResult
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// JobEngine runs expensive placements on a fixed worker pool, tracks job
+// lifecycles, supports cancellation via context, and feeds completed
+// results into the shared result cache.
+type JobEngine struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string        // submission order, for listing
+	active  map[string]*job // non-terminal jobs by cache key, for dedup
+	queue   chan *job
+	closed  bool
+	nextID  int
+	maxJobs int
+	cache   *resultCache
+	metrics *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// NewJobEngine starts workers goroutines consuming a queue of queueDepth
+// pending jobs. At most maxJobs job records are retained: once a job is
+// terminal its model is released and the oldest terminal records beyond
+// the bound are pruned, so a long-running daemon's memory stays bounded.
+func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metrics) *JobEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	// The retention bound must leave room for every job that can be live
+	// at once (queued + running), or fresh jobs would starve pruning and a
+	// just-issued job id could 404 while its client polls.
+	if min := workers + queueDepth + 1; maxJobs < min {
+		maxJobs = min
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &JobEngine{
+		jobs:       make(map[string]*job),
+		active:     make(map[string]*job),
+		queue:      make(chan *job, queueDepth),
+		maxJobs:    maxJobs,
+		cache:      cache,
+		metrics:    m,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a placement job. The model must already be validated
+// against the spec (algo gives the algorithm to run, key the result-cache
+// slot to fill on success). An identical request already queued or running
+// — same cache key — is not duplicated: the existing job is returned, so
+// client retries and concurrent identical queries share one computation.
+func (e *JobEngine) Submit(graphID string, spec PlaceSpec, algo algoSpec, m *flow.Model, key string) (JobInfo, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	if dup, ok := e.active[key]; ok {
+		info := e.infoLocked(dup)
+		e.mu.Unlock()
+		e.metrics.JobsDeduped.Add(1)
+		return info, nil
+	}
+	e.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%d", e.nextID),
+		graphID: graphID,
+		spec:    spec,
+		algo:    algo,
+		model:   m,
+		key:     key,
+		state:   JobQueued,
+		created: time.Now().UTC(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.nextID-- // slot unused
+		e.mu.Unlock()
+		e.metrics.JobsRejected.Add(1)
+		return JobInfo{}, ErrQueueFull
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.active[key] = j
+	info := e.infoLocked(j)
+	e.mu.Unlock()
+	e.metrics.JobsSubmitted.Add(1)
+	return info, nil
+}
+
+func (e *JobEngine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.mu.Lock()
+		if j.state != JobQueued { // canceled while waiting
+			e.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(e.baseCtx)
+		j.state = JobRunning
+		j.started = time.Now().UTC()
+		j.cancel = cancel
+		e.mu.Unlock()
+
+		e.metrics.JobsRunning.Add(1)
+		res, err := j.spec.execute(ctx, j.algo, j.model, j.graphID)
+		e.metrics.JobsRunning.Add(-1)
+		cancel()
+
+		e.mu.Lock()
+		j.finished = time.Now().UTC()
+		switch {
+		case err == nil:
+			j.state = JobDone
+			j.result = res
+			e.cache.put(j.key, res)
+			e.metrics.JobsCompleted.Add(1)
+		case errors.Is(err, context.Canceled):
+			j.state = JobCanceled
+			e.metrics.JobsCanceled.Add(1)
+		default:
+			j.state = JobFailed
+			j.errMsg = err.Error()
+			e.metrics.JobsFailed.Add(1)
+		}
+		e.retireLocked(j)
+		e.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// Get returns a snapshot of job id.
+func (e *JobEngine) Get(id string) (JobInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return e.infoLocked(j), true
+}
+
+// Cancel requests cancellation of job id: a queued job is canceled
+// immediately, a running job has its context canceled (the worker records
+// the terminal state), and a terminal job is left untouched.
+func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.finished = time.Now().UTC()
+		e.metrics.JobsCanceled.Add(1)
+		e.retireLocked(j)
+		close(j.done)
+	case JobRunning:
+		j.cancel()
+	}
+	return e.infoLocked(j), true
+}
+
+// retireLocked releases a terminal job's heavyweight references (the
+// model can be large and may already be evicted from the registry) and
+// prunes the oldest terminal job records beyond the retention bound. The
+// job being retired is never pruned in the same step, so the client that
+// just submitted it always gets at least one successful poll.
+func (e *JobEngine) retireLocked(j *job) {
+	j.model = nil
+	if e.active[j.key] == j {
+		delete(e.active, j.key)
+	}
+	if len(e.jobs) <= e.maxJobs {
+		return
+	}
+	kept := e.order[:0]
+	excess := len(e.jobs) - e.maxJobs
+	for _, id := range e.order {
+		if old := e.jobs[id]; excess > 0 && old != j && old.state.Terminal() {
+			delete(e.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Wait blocks until job id reaches a terminal state or ctx expires.
+func (e *JobEngine) Wait(ctx context.Context, id string) (JobInfo, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("server: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+	// Read the retained job pointer rather than the map: the record may
+	// have been pruned by a later retirement, but the terminal state is
+	// immutable.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.infoLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (e *JobEngine) List() []JobInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobInfo, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.infoLocked(e.jobs[id]))
+	}
+	return out
+}
+
+// Close cancels running jobs, drains the queue and stops the workers.
+// Queued jobs finish as canceled.
+func (e *JobEngine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.baseCancel()
+	close(e.queue)
+	e.wg.Wait()
+}
+
+func (e *JobEngine) infoLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID:      j.id,
+		GraphID: j.graphID,
+		Spec:    j.spec,
+		State:   j.state,
+		Error:   j.errMsg,
+		Result:  j.result,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+		if !j.started.IsZero() {
+			info.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	return info
+}

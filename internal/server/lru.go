@@ -1,0 +1,81 @@
+package server
+
+import "container/list"
+
+// lruMap is the shared LRU bookkeeping behind the graph registry and the
+// placement result cache: a key→value map with recency tracking and
+// capacity eviction. It is not safe for concurrent use; both owners hold
+// their own mutex around it.
+type lruMap[K comparable, V any] struct {
+	cap   int
+	byKey map[K]*list.Element
+	order *list.List // front = most recently used; values are *lruPair
+}
+
+type lruPair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUMap[K comparable, V any](capacity int) *lruMap[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruMap[K, V]{
+		cap:   capacity,
+		byKey: make(map[K]*list.Element),
+		order: list.New(),
+	}
+}
+
+// get returns the value for k, bumping its recency.
+func (l *lruMap[K, V]) get(k K) (V, bool) {
+	el, ok := l.byKey[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruPair[K, V]).val, true
+}
+
+// put inserts or overwrites k as the most recent entry, evicting the
+// least-recently-used entries beyond capacity; it returns the number
+// evicted.
+func (l *lruMap[K, V]) put(k K, v V) int {
+	if el, ok := l.byKey[k]; ok {
+		el.Value.(*lruPair[K, V]).val = v
+		l.order.MoveToFront(el)
+		return 0
+	}
+	l.byKey[k] = l.order.PushFront(&lruPair[K, V]{key: k, val: v})
+	evicted := 0
+	for l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.byKey, oldest.Value.(*lruPair[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// delete removes k, reporting whether it was present.
+func (l *lruMap[K, V]) delete(k K) bool {
+	el, ok := l.byKey[k]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.byKey, k)
+	return true
+}
+
+// each visits every value, most recently used first.
+func (l *lruMap[K, V]) each(visit func(V)) {
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		visit(el.Value.(*lruPair[K, V]).val)
+	}
+}
+
+// len returns the number of entries.
+func (l *lruMap[K, V]) len() int { return l.order.Len() }

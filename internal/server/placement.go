@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// PlaceSpec is the POST /v1/graphs/{id}/place request body.
+type PlaceSpec struct {
+	Algorithm string `json:"algorithm"`
+	// K is the filter budget, 1 ≤ k ≤ n (ignored by prop1, which places
+	// at every merge node).
+	K int `json:"k,omitempty"`
+	// Engine selects the arithmetic: "float" (default) or "big".
+	Engine string `json:"engine,omitempty"`
+	// Sources overrides the graph's registered sources for this request.
+	Sources []int `json:"sources,omitempty"`
+	// Seed feeds the randomized baselines (randk/randi/randw).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// PlaceResult is the placement outcome, returned inline for synchronous
+// algorithms and through the job API for asynchronous ones.
+type PlaceResult struct {
+	GraphID   string   `json:"graph_id"`
+	Algorithm string   `json:"algorithm"`
+	K         int      `json:"k"`
+	Filters   []int    `json:"filters"`
+	Labels    []string `json:"labels,omitempty"`
+	PhiEmpty  float64  `json:"phi_empty"`
+	PhiA      float64  `json:"phi_filtered"`
+	F         float64  `json:"f"`
+	FR        float64  `json:"fr"`
+	Cached    bool     `json:"cached"`
+}
+
+// algoSpec describes one placement algorithm: how to run it, whether it
+// is expensive enough to route through the async job engine, and which
+// request fields (seed, k) actually matter for its result.
+type algoSpec struct {
+	async      bool
+	randomized bool
+	kless      bool // ignores the budget (prop1 places at every merge node)
+	run        func(ctx context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error)
+}
+
+var algos = map[string]algoSpec{
+	"gall": {async: true, run: func(ctx context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.GreedyAllCtx(ctx, ev, k)
+	}},
+	"celf": {async: true, run: func(ctx context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		filters, _, err := core.GreedyAllCELFCtx(ctx, ev, k)
+		return filters, err
+	}},
+	"gmax": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.GreedyMax(ev, k), nil
+	}},
+	"g1": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.Greedy1(ev.Model().Graph(), k), nil
+	}},
+	"gl": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.GreedyL(ev, k), nil
+	}},
+	"glfast": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.GreedyLFast(ev, k), nil
+	}},
+	"randk": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
+		return core.RandK(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
+	}},
+	"randi": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
+		return core.RandI(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
+	}},
+	"randw": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
+		return core.RandW(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
+	}},
+	"prop1": {kless: true, run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
+		return core.UnboundedOptimal(ev.Model().Graph()), nil
+	}},
+}
+
+// Algorithms lists the accepted algorithm names, asynchronous ones first.
+func Algorithms() []string {
+	names := make([]string, 0, len(algos))
+	for name := range algos {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := algos[names[i]].async, algos[names[j]].async
+		if ai != aj {
+			return ai
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// validate normalizes the spec in place against a model and returns the
+// algorithm table entry. k must satisfy 1 ≤ k ≤ n. Normalization
+// canonicalizes the cache key: the default engine becomes explicit and the
+// seed is dropped for deterministic algorithms, so requests differing only
+// in irrelevant fields share a cache slot.
+func (sp *PlaceSpec) validate(m *flow.Model) (algoSpec, error) {
+	spec, ok := algos[sp.Algorithm]
+	if !ok {
+		return algoSpec{}, fmt.Errorf("unknown algorithm %q (have %s)",
+			sp.Algorithm, strings.Join(Algorithms(), ", "))
+	}
+	if spec.kless {
+		sp.K = 0 // the budget is ignored; one cache slot for all k
+	} else if n := m.N(); sp.K < 1 || sp.K > n {
+		return algoSpec{}, fmt.Errorf("k = %d outside [1, %d]", sp.K, n)
+	}
+	switch sp.Engine {
+	case "":
+		sp.Engine = "float"
+	case "float", "big":
+	default:
+		return algoSpec{}, fmt.Errorf("unknown engine %q (have float, big)", sp.Engine)
+	}
+	if !spec.randomized {
+		sp.Seed = 0
+	}
+	return spec, nil
+}
+
+// newEvaluator builds a fresh evaluator for the model. Engines reuse
+// scratch buffers internally, so one is built per request/job rather than
+// shared.
+func (sp *PlaceSpec) newEvaluator(m *flow.Model) flow.Evaluator {
+	if sp.Engine == "big" {
+		return flow.NewBig(m)
+	}
+	return flow.NewFloat(m)
+}
+
+// cacheKey identifies a placement result: same graph, sources, algorithm,
+// budget, engine and seed ⇒ same result.
+func (sp *PlaceSpec) cacheKey(graphID string, sources []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d|%s|%d|", graphID, sp.Algorithm, sp.K, sp.Engine, sp.Seed)
+	for _, s := range sources {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
+}
+
+// execute runs the placement and evaluates the paper's report quantities
+// for the chosen filter set.
+func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string) (*PlaceResult, error) {
+	ev := sp.newEvaluator(m)
+	filters, err := spec.run(ctx, ev, sp.K, sp.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if filters == nil {
+		filters = []int{} // serialize as [], not null
+	}
+	k := sp.K
+	if spec.kless {
+		k = len(filters) // report the budget actually used
+	}
+	mask := flow.MaskOf(m.N(), filters)
+	res := &PlaceResult{
+		GraphID:   graphID,
+		Algorithm: sp.Algorithm,
+		K:         k,
+		Filters:   filters,
+		PhiEmpty:  ev.Phi(nil),
+		PhiA:      ev.Phi(mask),
+		F:         ev.F(mask),
+		FR:        flow.FR(ev, mask),
+	}
+	if g := m.Graph(); g.HasLabels() {
+		res.Labels = make([]string, len(filters))
+		for i, v := range filters {
+			res.Labels[i] = g.Label(v)
+		}
+	}
+	return res, nil
+}

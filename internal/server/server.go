@@ -1,0 +1,142 @@
+// Package server implements fpd, the filter-placement daemon: an HTTP/JSON
+// service over the fp library built from three layers.
+//
+//   - A concurrency-safe graph Registry: clients upload edge lists or
+//     instantiate any internal/gen generator by name; graphs are immutable
+//     and shared across requests, LRU-bounded with per-graph stats.
+//   - An async JobEngine: expensive placements (GreedyAll/CELF) run on a
+//     worker pool with queued/running/done/failed/canceled states,
+//     context-based cancellation, and an LRU result cache keyed by
+//     (graph, sources, algorithm, k, engine, seed) so repeated queries
+//     are O(1).
+//   - The HTTP API itself — see Routes for the endpoint list.
+//
+// Everything is stdlib-only; cmd/fpd wires the server to flags, logging
+// and graceful shutdown.
+package server
+
+import (
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config sizes the server. Zero values pick the documented defaults.
+type Config struct {
+	// Workers is the job-engine pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending jobs (default 64); beyond it Submit
+	// returns 503.
+	QueueDepth int
+	// MaxJobs bounds retained job records (default 1024); older terminal
+	// jobs are pruned.
+	MaxJobs int
+	// MaxGraphs bounds the registry (default 32, LRU eviction).
+	MaxGraphs int
+	// CacheSize bounds the placement result cache (default 256).
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (default 64 MiB) — edge-list
+	// uploads can be large.
+	MaxBodyBytes int64
+	// Logger receives request and lifecycle logs; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 32
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the fpd HTTP handler plus its registry, job engine and result
+// cache. Create with New, serve via any http.Server, release with Close.
+type Server struct {
+	mux          *http.ServeMux
+	registry     *Registry
+	jobs         *JobEngine
+	cache        *resultCache
+	metrics      *Metrics
+	logger       *log.Logger
+	maxBodyBytes int64
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := &Metrics{}
+	cache := newResultCache(cfg.CacheSize, m)
+	s := &Server{
+		mux:          http.NewServeMux(),
+		registry:     NewRegistry(cfg.MaxGraphs, m),
+		jobs:         NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m),
+		cache:        cache,
+		metrics:      m,
+		logger:       cfg.Logger,
+		maxBodyBytes: cfg.MaxBodyBytes,
+	}
+	for pattern, h := range s.Routes() {
+		s.mux.HandleFunc(pattern, h)
+	}
+	return s
+}
+
+// Routes maps "METHOD /pattern" to handlers; exported so tests and docs
+// stay in sync with the actual surface.
+func (s *Server) Routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /v1/graphs":              s.handleCreateGraph,
+		"GET /v1/graphs":               s.handleListGraphs,
+		"GET /v1/graphs/{id}":          s.handleGetGraph,
+		"DELETE /v1/graphs/{id}":       s.handleDeleteGraph,
+		"POST /v1/graphs/{id}/place":   s.handlePlace,
+		"GET /v1/graphs/{id}/evaluate": s.handleEvaluate,
+		"GET /v1/jobs":                 s.handleListJobs,
+		"GET /v1/jobs/{id}":            s.handleGetJob,
+		"DELETE /v1/jobs/{id}":         s.handleCancelJob,
+		"GET /healthz":                 s.handleHealthz,
+		"GET /metrics":                 s.handleMetrics,
+	}
+}
+
+// ServeHTTP implements http.Handler with request counting and logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RequestsTotal.Add(1)
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	s.logf("fpd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+}
+
+// Jobs exposes the job engine (examples use Wait instead of polling).
+func (s *Server) Jobs() *JobEngine { return s.jobs }
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close cancels running jobs and stops the worker pool. The HTTP listener
+// (owned by the caller) should be shut down first.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
