@@ -7,6 +7,8 @@ package fp_test
 // regenerate the paper's series are produced by `go run ./cmd/fpexp`.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -275,5 +277,108 @@ func BenchmarkTreeDP(b *testing.B) {
 		if _, _, err := fp.TreeDP(g, src, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Dynamic-graph maintenance (internal/dyn). One iteration = apply one
+// mutation batch to a ~10K-node churned Twitter-style graph and refresh a
+// k = 10 placement, either incrementally (Maintainer) or from scratch
+// (snapshot → NewModel → NewFloat → GreedyAll). BENCH_dyn.json records the
+// baseline; the acceptance target is maintain ≥ 5× faster at 1% churn with
+// F(A) within 1% of from-scratch (quality asserted by
+// dyn.TestMaintainQualityUnderChurn).
+
+const dynBenchK = 10
+
+// dynChurnFixture pre-generates a long mutation stream so benchmark
+// iterations never run dry: when the stream is exhausted the overlay is
+// rebuilt from the pristine graph (off the clock) and the stream replays.
+type dynChurnFixture struct {
+	g      *fp.Graph
+	root   int
+	stream []fp.Mutation
+	warm   bool // build a Maintainer; the recompute baseline runs without one
+	d      *fp.DynamicGraph
+	mt     *fp.Maintainer
+	next   int
+}
+
+func newDynChurnFixture(b *testing.B, churn float64, warm bool) *dynChurnFixture {
+	b.Helper()
+	g, root := fp.TwitterLike(0.1, 1) // ≈10K nodes, Twitter shape
+	fx := &dynChurnFixture{g: g, root: root, warm: warm, stream: fp.TwitterChurn(g, 128, churn, 2)}
+	fx.reset(b)
+	return fx
+}
+
+func (fx *dynChurnFixture) reset(b *testing.B) {
+	b.Helper()
+	d, err := fp.NewDynamic(fx.g, []int{fx.root})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fx.d, fx.mt, fx.next = d, nil, 0
+	if !fx.warm {
+		return
+	}
+	mt, err := fp.NewMaintainer(d, fp.MaintainOptions{K: dynBenchK}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mt.Maintain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	fx.mt = mt
+}
+
+// batch returns the next mutation batch, replaying from a fresh overlay
+// when the stream is exhausted.
+func (fx *dynChurnFixture) batch(b *testing.B) fp.MutationBatch {
+	b.Helper()
+	if fx.next == len(fx.stream) {
+		b.StopTimer()
+		fx.reset(b)
+		b.StartTimer()
+	}
+	mu := fx.stream[fx.next]
+	fx.next++
+	return fp.MutationBatch{Add: mu.Add, Remove: mu.Remove}
+}
+
+func BenchmarkMaintainVsRecompute(b *testing.B) {
+	for _, churn := range []float64{0.002, 0.01, 0.05} {
+		name := fmt.Sprintf("churn=%g", churn)
+		b.Run(name+"/maintain", func(b *testing.B) {
+			fx := newDynChurnFixture(b, churn, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fx.mt.Apply(fx.batch(b)); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := fx.mt.Maintain(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.FAfter <= 0 {
+					b.Fatal("maintenance lost the objective")
+				}
+			}
+		})
+		b.Run(name+"/recompute", func(b *testing.B) {
+			fx := newDynChurnFixture(b, churn, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fx.d.Apply(fx.batch(b)); err != nil {
+					b.Fatal(err)
+				}
+				m, err := fp.NewModel(fx.d.Snapshot(), []int{fx.root})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fp.GreedyAll(fp.NewFloat(m), dynBenchK)) == 0 {
+					b.Fatal("no filters placed")
+				}
+			}
+		})
 	}
 }

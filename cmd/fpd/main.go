@@ -1,8 +1,11 @@
 // Command fpd is the filter-placement daemon: a long-running HTTP/JSON
 // service over the fp library. It keeps an LRU-bounded registry of uploaded
 // or generated communication graphs, answers cheap placement heuristics
-// synchronously, and runs expensive greedy placements on an async worker
-// pool with a result cache.
+// synchronously, runs expensive greedy placements on an async worker pool
+// with a result cache, and serves dynamic graphs: PATCHed edge mutations
+// apply atomically with incremental topological-order maintenance, stale
+// cached placements are invalidated, and an optional auto-maintain job
+// refreshes the filter placement incrementally (internal/dyn).
 //
 // Usage:
 //
@@ -12,11 +15,12 @@
 //
 //	POST   /v1/graphs                upload an edge list or generator spec
 //	GET    /v1/graphs/{id}           graph info and stats
+//	PATCH  /v1/graphs/{id}/edges     mutate edges; optional auto-maintain
 //	POST   /v1/graphs/{id}/place     place filters (202 + job for greedy)
 //	GET    /v1/graphs/{id}/evaluate  Φ and FR for an explicit filter set
-//	GET    /v1/jobs/{id}             poll an async placement job
+//	GET    /v1/jobs/{id}             poll an async placement or maintain job
 //	DELETE /v1/jobs/{id}             cancel a job
-//	GET    /healthz, /metrics        liveness and counters
+//	GET    /healthz, /metrics        liveness, counters, queue depth
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, running
 // jobs are canceled, and the worker pool exits.

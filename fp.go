@@ -28,6 +28,12 @@
 //   - Dataset generators used by the paper's evaluation, from the layered
 //     synthetic graphs to structure-matched stand-ins for the Quote,
 //     Twitter and APS-citation datasets.
+//   - Dynamic graphs: NewDynamic wraps a DAG in a mutable overlay with
+//     atomic batched edge mutations and incremental topological-order
+//     maintenance (cycle-creating edges are rejected with ErrWouldCycle),
+//     and NewMaintainer keeps a placement fresh across mutation batches —
+//     incremental dirty-cone repair, falling back to a full GreedyAll when
+//     drift grows. TwitterChurn generates benchmarkable mutation streams.
 //   - The full experiment harness: RunExperiment regenerates any figure of
 //     the paper's evaluation section.
 //
@@ -48,6 +54,7 @@ import (
 	"repro/internal/acyclic"
 	"repro/internal/centrality"
 	"repro/internal/core"
+	"repro/internal/dyn"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/gen"
@@ -269,6 +276,66 @@ func Figure2() (*Graph, int) { return gen.Figure2() }
 
 // Figure3 rebuilds the Greedy_All suboptimality example (Φ(∅,V) = 26).
 func Figure3() (*Graph, []int) { return gen.Figure3() }
+
+// Dynamic graphs (internal/dyn): the paper's networks are streams, so the
+// library supports evolving c-graphs with incremental placement
+// maintenance instead of re-running everything per edge change.
+
+// DynamicGraph is a mutable DAG overlay with atomic mutation batches and
+// Pearce–Kelly incremental topological-order maintenance.
+type DynamicGraph = dyn.Dynamic
+
+// MutationBatch is one atomic group of edge insertions/deletions and node
+// additions.
+type MutationBatch = dyn.Batch
+
+// MutationResult summarizes a committed batch, including the dirty seeds
+// that bound downstream recomputation.
+type MutationResult = dyn.ApplyResult
+
+// ErrWouldCycle is the typed rejection for cycle-creating edge insertions:
+// errors.Is(err, ErrWouldCycle) after a failed DynamicGraph.Apply.
+var ErrWouldCycle = dyn.ErrCycle
+
+// NewDynamic wraps a DAG in a mutable overlay. sources (empty = every
+// in-degree-0 node) are pinned: edges into them are rejected, so the
+// overlay always remains a valid propagation model.
+func NewDynamic(g *Graph, sources []int) (*DynamicGraph, error) {
+	return dyn.FromDigraph(g, sources)
+}
+
+// ParseMutations parses the "+ u v" / "- u v" / "n k" text form of a
+// mutation batch (the fpd PATCH "patch" field).
+func ParseMutations(text string) (MutationBatch, error) { return dyn.ParseBatch(text) }
+
+// Maintainer refreshes a filter placement after mutation batches: warm
+// incremental repair inside the dirty cone, with a full GreedyAll fallback
+// when the drift bound is exceeded.
+type Maintainer = dyn.Maintainer
+
+// MaintainOptions configures a Maintainer (budget K, drift bound, swap
+// limit).
+type MaintainOptions = dyn.Options
+
+// MaintainReport describes one maintenance pass: strategy, objective
+// delta, and which filters moved.
+type MaintainReport = dyn.Report
+
+// NewMaintainer builds a placement maintainer over a dynamic overlay;
+// initial may carry an existing placement to warm-start from.
+func NewMaintainer(d *DynamicGraph, opts MaintainOptions, initial []int) (*Maintainer, error) {
+	return dyn.NewMaintainer(d, opts, initial)
+}
+
+// Mutation is one batch of a generated churn stream.
+type Mutation = gen.Mutation
+
+// TwitterChurn generates a stream of always-acyclic mutation batches over
+// a DAG (churn is the per-batch edge fraction, e.g. 0.01), modelling the
+// paper's streaming networks for benchmarks and load tests.
+func TwitterChurn(g *Graph, batches int, churn float64, seed int64) []Mutation {
+	return gen.TwitterChurn(g, batches, churn, seed)
+}
 
 // Extensions beyond the paper's core algorithms.
 

@@ -1,0 +1,83 @@
+package dyn
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBatch(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want Batch
+		bad  bool
+	}{
+		{"empty", "", Batch{}, false},
+		{"comments only", "# churn\n\n  # more\n", Batch{}, false},
+		{"adds and removes", "+ 0 1\n- 2 3\n+ 4 5\n",
+			Batch{Add: [][2]int{{0, 1}, {4, 5}}, Remove: [][2]int{{2, 3}}}, false},
+		{"nodes accumulate", "n 2\nn 3\n", Batch{AddNodes: 5}, false},
+		{"mixed", "n 1\n+ 0 5\n# done\n", Batch{AddNodes: 1, Add: [][2]int{{0, 5}}}, false},
+		{"no trailing newline", "+ 1 2", Batch{Add: [][2]int{{1, 2}}}, false},
+		{"bad op", "* 1 2\n", Batch{}, true},
+		{"missing field", "+ 1\n", Batch{}, true},
+		{"extra field", "- 1 2 3\n", Batch{}, true},
+		{"negative id", "+ -1 2\n", Batch{}, true},
+		{"non-numeric", "+ a b\n", Batch{}, true},
+		{"huge id", "+ 1 99999999999\n", Batch{}, true},
+		{"huge node count", "n 6000000\n", Batch{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseBatch(tc.text)
+			if tc.bad {
+				if err == nil {
+					t.Fatalf("ParseBatch(%q) succeeded, want error", tc.text)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseBatch(%q): %v", tc.text, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParseBatch(%q) = %+v, want %+v", tc.text, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseBatchErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseBatch("+ 0 1\n\nbogus 1 2\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+// FuzzParseBatch is the CI fuzz-smoke target: the parser must never panic,
+// and every accepted batch must be internally consistent (non-negative ids
+// within the parser's bound, counts matching the slices).
+func FuzzParseBatch(f *testing.F) {
+	f.Add("+ 0 1\n- 2 3\nn 4\n")
+	f.Add("# comment\n\n+ 10 20")
+	f.Add("n 0\nn 1\n")
+	f.Add("+ -1 2\n")
+	f.Add("* * *\n")
+	f.Add("+ 0 1 2 3\nn\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		b, err := ParseBatch(text)
+		if err != nil {
+			return
+		}
+		if b.AddNodes < 0 || b.AddNodes > maxParseNodes {
+			t.Fatalf("accepted AddNodes %d", b.AddNodes)
+		}
+		for _, es := range [][][2]int{b.Add, b.Remove} {
+			for _, e := range es {
+				if e[0] < 0 || e[1] < 0 || e[0] > maxParseNodes || e[1] > maxParseNodes {
+					t.Fatalf("accepted out-of-bound edge %v", e)
+				}
+			}
+		}
+	})
+}

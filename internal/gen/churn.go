@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Mutation is one batch of edge churn produced by TwitterChurn: edges to
+// insert and edges to delete, applied atomically by the dynamic-graph
+// overlay (internal/dyn).
+type Mutation struct {
+	Add    [][2]int
+	Remove [][2]int
+}
+
+// TwitterChurn generates a stream of mutation batches over a DAG,
+// modelling the paper's streaming-era networks (follower links appear and
+// disappear) while guaranteeing every prefix of the stream keeps the graph
+// acyclic: inserted edges always point forward in one fixed topological
+// order of g, and deletions never create cycles, so the batches apply
+// cleanly in sequence starting from g.
+//
+// Each batch removes and inserts ⌈churn·|E|/2⌉ edges each (churn is the
+// per-batch edge-churn fraction, e.g. 0.01 for 1%). Removals pick live
+// edges uniformly, excluding the last in-edge of any node that currently
+// has in-degree 1 — so designated sources stay the only in-degree-0 nodes
+// a model relies on. Insertions pick rank-respecting node pairs uniformly.
+// Panics on cyclic input or churn outside (0, 1].
+func TwitterChurn(g *graph.Digraph, batches int, churn float64, seed int64) []Mutation {
+	if churn <= 0 || churn > 1 {
+		panic("gen: TwitterChurn churn must be in (0,1]")
+	}
+	rank, err := g.TopoRank()
+	if err != nil {
+		panic("gen: TwitterChurn wants a DAG: " + err.Error())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	half := int(churn*float64(g.M())) / 2
+	if half < 1 {
+		half = 1
+	}
+
+	// Live edge set with O(1) uniform sampling and membership.
+	type key = [2]int
+	edges := make([]key, 0, g.M())
+	index := make(map[key]int, g.M())
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			index[key{u, v}] = len(edges)
+			edges = append(edges, key{u, v})
+			indeg[v]++
+		}
+	}
+	removeAt := func(i int) key {
+		e := edges[i]
+		last := len(edges) - 1
+		edges[i] = edges[last]
+		index[edges[i]] = i
+		edges = edges[:last]
+		delete(index, e)
+		indeg[e[1]]--
+		return e
+	}
+	insert := func(e key) {
+		index[e] = len(edges)
+		edges = append(edges, e)
+		indeg[e[1]]++
+	}
+
+	stream := make([]Mutation, batches)
+	for bi := range stream {
+		var m Mutation
+		// dropped tracks this batch's removals: dyn.Apply validates
+		// insertions against the pre-batch edge set, so re-adding an edge
+		// removed in the same batch would be rejected as a duplicate.
+		dropped := make(map[key]bool, half)
+		for tries := 0; len(m.Remove) < half && len(edges) > half && tries < 100*half; tries++ {
+			i := rng.Intn(len(edges))
+			if indeg[edges[i][1]] <= 1 {
+				continue // keep every non-source reachable the same way
+			}
+			e := removeAt(i)
+			dropped[e] = true
+			m.Remove = append(m.Remove, e)
+		}
+		for tries := 0; len(m.Add) < half && tries < 50*half; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if rank[u] > rank[v] {
+				u, v = v, u
+			}
+			if u == v || rank[u] == rank[v] {
+				continue
+			}
+			if indeg[v] == 0 {
+				continue // never target an in-degree-0 node: it may be a pinned source
+			}
+			e := key{u, v}
+			if _, live := index[e]; live || dropped[e] {
+				continue
+			}
+			insert(e)
+			m.Add = append(m.Add, e)
+		}
+		stream[bi] = m
+	}
+	return stream
+}

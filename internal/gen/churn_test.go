@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTwitterChurnAppliesCleanly(t *testing.T) {
+	g, _ := TwitterLike(0.02, 1)
+	stream := TwitterChurn(g, 5, 0.01, 2)
+	if len(stream) != 5 {
+		t.Fatalf("len = %d", len(stream))
+	}
+	rank, err := g.TopoRank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[[2]int]bool, g.M())
+	for _, e := range g.Edges() {
+		live[e] = true
+	}
+	for bi, m := range stream {
+		if len(m.Add) == 0 || len(m.Remove) == 0 {
+			t.Fatalf("batch %d: empty churn %d/%d", bi, len(m.Add), len(m.Remove))
+		}
+		for _, e := range m.Remove {
+			if !live[e] {
+				t.Fatalf("batch %d removes dead edge %v", bi, e)
+			}
+			delete(live, e)
+		}
+		for _, e := range m.Add {
+			if live[e] {
+				t.Fatalf("batch %d re-adds live edge %v", bi, e)
+			}
+			if rank[e[0]] >= rank[e[1]] {
+				t.Fatalf("batch %d adds rank-violating edge %v", bi, e)
+			}
+			live[e] = true
+		}
+	}
+}
+
+func TestTwitterChurnPanicsOnCyclic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cyclic input")
+		}
+	}()
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	TwitterChurn(b.MustBuild(), 1, 0.5, 1)
+}

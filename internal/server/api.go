@@ -111,7 +111,7 @@ func resolveModel(m *flow.Model, sources []int) (*flow.Model, []int, error) {
 // return 202 with its location.
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	m, _, ok := s.registry.Get(id)
+	m, info, ok := s.registry.Get(id)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
 		return
@@ -142,7 +142,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := spec.cacheKey(id, sources)
+	key := spec.cacheKey(id, info.Patches, sources)
 	if res, ok := s.cache.get(key); ok {
 		s.writeJSON(w, http.StatusOK, res)
 		return
@@ -262,7 +262,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics is GET /metrics.
+// handleMetrics is GET /metrics. The counter snapshot is augmented with
+// two sampled gauges: the job-queue depth (auto-maintain backlog) and the
+// placement-cache population.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.JobQueueDepth = int64(s.jobs.QueueDepth())
+	snap.CacheEntries = int64(s.cache.len())
+	s.writeJSON(w, http.StatusOK, snap)
 }

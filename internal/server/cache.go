@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"strings"
+	"sync"
+)
 
 // resultCache is an LRU cache of completed placement results, keyed by
 // PlaceSpec.cacheKey. It makes repeated expensive queries O(1): the job
@@ -37,6 +40,22 @@ func (c *resultCache) put(key string, res *PlaceResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries.put(key, res)
+}
+
+// invalidateGraph drops every cached placement for the graph — keys are
+// "graphID|..." — returning the number invalidated. PATCHed graphs call
+// this so no stale placement survives a mutation.
+func (c *resultCache) invalidateGraph(graphID string) int {
+	prefix := graphID + "|"
+	c.mu.Lock()
+	n := c.entries.deleteMatching(func(k string) bool {
+		return strings.HasPrefix(k, prefix)
+	})
+	c.mu.Unlock()
+	if n > 0 {
+		c.metrics.CacheInvalidations.Add(int64(n))
+	}
+	return n
 }
 
 // len returns the number of cached results.

@@ -55,6 +55,9 @@ type job struct {
 	algo    algoSpec
 	model   *flow.Model
 	key     string
+	// runFn, when set, replaces the standard spec execution — the
+	// auto-maintain job kind runs through it.
+	runFn func(context.Context) (*PlaceResult, error)
 
 	state    JobState
 	result   *PlaceResult
@@ -127,29 +130,37 @@ func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metri
 // — same cache key — is not duplicated: the existing job is returned, so
 // client retries and concurrent identical queries share one computation.
 func (e *JobEngine) Submit(graphID string, spec PlaceSpec, algo algoSpec, m *flow.Model, key string) (JobInfo, error) {
+	return e.enqueue(&job{graphID: graphID, spec: spec, algo: algo, model: m, key: key})
+}
+
+// SubmitFunc enqueues a custom job — the auto-maintain kind — whose work
+// is the given closure instead of a placement algorithm. spec documents
+// the job for listings and key drives dedup and the result cache exactly
+// as for Submit.
+func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
+	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, runFn: fn})
+}
+
+// enqueue assigns the job id and runs the shared admission bookkeeping:
+// closed check, in-flight dedup by cache key, bounded queue push with id
+// rollback on rejection.
+func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return JobInfo{}, ErrClosed
 	}
-	if dup, ok := e.active[key]; ok {
+	if dup, ok := e.active[j.key]; ok {
 		info := e.infoLocked(dup)
 		e.mu.Unlock()
 		e.metrics.JobsDeduped.Add(1)
 		return info, nil
 	}
 	e.nextID++
-	j := &job{
-		id:      fmt.Sprintf("j%d", e.nextID),
-		graphID: graphID,
-		spec:    spec,
-		algo:    algo,
-		model:   m,
-		key:     key,
-		state:   JobQueued,
-		created: time.Now().UTC(),
-		done:    make(chan struct{}),
-	}
+	j.id = fmt.Sprintf("j%d", e.nextID)
+	j.state = JobQueued
+	j.created = time.Now().UTC()
+	j.done = make(chan struct{})
 	select {
 	case e.queue <- j:
 	default:
@@ -160,12 +171,16 @@ func (e *JobEngine) Submit(graphID string, spec PlaceSpec, algo algoSpec, m *flo
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
-	e.active[key] = j
+	e.active[j.key] = j
 	info := e.infoLocked(j)
 	e.mu.Unlock()
 	e.metrics.JobsSubmitted.Add(1)
 	return info, nil
 }
+
+// QueueDepth returns the number of jobs waiting for a worker; surfaced in
+// /metrics so auto-maintain backlog is observable.
+func (e *JobEngine) QueueDepth() int { return len(e.queue) }
 
 func (e *JobEngine) worker() {
 	defer e.wg.Done()
@@ -182,7 +197,15 @@ func (e *JobEngine) worker() {
 		e.mu.Unlock()
 
 		e.metrics.JobsRunning.Add(1)
-		res, err := j.spec.execute(ctx, j.algo, j.model, j.graphID)
+		var (
+			res *PlaceResult
+			err error
+		)
+		if j.runFn != nil {
+			res, err = j.runFn(ctx)
+		} else {
+			res, err = j.spec.execute(ctx, j.algo, j.model, j.graphID)
+		}
 		e.metrics.JobsRunning.Add(-1)
 		cancel()
 
@@ -192,7 +215,11 @@ func (e *JobEngine) worker() {
 		case err == nil:
 			j.state = JobDone
 			j.result = res
-			e.cache.put(j.key, res)
+			// Custom (runFn) jobs use version-stamped keys nothing reads
+			// back — caching them would only evict reusable placements.
+			if j.runFn == nil {
+				e.cache.put(j.key, res)
+			}
 			e.metrics.JobsCompleted.Add(1)
 		case errors.Is(err, context.Canceled):
 			j.state = JobCanceled
@@ -249,6 +276,7 @@ func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
 // just submitted it always gets at least one successful poll.
 func (e *JobEngine) retireLocked(j *job) {
 	j.model = nil
+	j.runFn = nil
 	if e.active[j.key] == j {
 		delete(e.active, j.key)
 	}

@@ -39,6 +39,16 @@ func (l *lruMap[K, V]) get(k K) (V, bool) {
 	return el.Value.(*lruPair[K, V]).val, true
 }
 
+// peek returns the value for k without bumping its recency.
+func (l *lruMap[K, V]) peek(k K) (V, bool) {
+	el, ok := l.byKey[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*lruPair[K, V]).val, true
+}
+
 // put inserts or overwrites k as the most recent entry, evicting the
 // least-recently-used entries beyond capacity; it returns the number
 // evicted.
@@ -68,6 +78,22 @@ func (l *lruMap[K, V]) delete(k K) bool {
 	l.order.Remove(el)
 	delete(l.byKey, k)
 	return true
+}
+
+// deleteMatching removes every entry whose key satisfies pred, returning
+// the number removed.
+func (l *lruMap[K, V]) deleteMatching(pred func(K) bool) int {
+	removed := 0
+	for el := l.order.Front(); el != nil; {
+		next := el.Next()
+		if k := el.Value.(*lruPair[K, V]).key; pred(k) {
+			l.order.Remove(el)
+			delete(l.byKey, k)
+			removed++
+		}
+		el = next
+	}
+	return removed
 }
 
 // each visits every value, most recently used first.

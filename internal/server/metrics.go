@@ -5,13 +5,17 @@ import "sync/atomic"
 // Metrics holds the daemon's monotonic counters (plus one gauge for
 // running jobs). Everything is atomic so handlers, workers and the
 // registry update them without coordination; Snapshot copies the values
-// for the /metrics endpoint.
+// for the /metrics endpoint, and the handler fills in the two sampled
+// gauges (job-queue depth, cache entries) that live outside this struct.
 type Metrics struct {
 	RequestsTotal  atomic.Int64
 	RequestErrors  atomic.Int64
 	GraphsCreated  atomic.Int64
 	GraphsEvicted  atomic.Int64
 	GraphsDeleted  atomic.Int64
+	GraphsPatched  atomic.Int64
+	EdgesAdded     atomic.Int64
+	EdgesRemoved   atomic.Int64
 	SyncPlacements atomic.Int64
 	Evaluations    atomic.Int64
 	JobsSubmitted  atomic.Int64
@@ -21,48 +25,66 @@ type Metrics struct {
 	JobsFailed     atomic.Int64
 	JobsCanceled   atomic.Int64
 	JobsRejected   atomic.Int64
+	MaintainJobs   atomic.Int64
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
+	// CacheInvalidations counts placements dropped by graph mutations.
+	CacheInvalidations atomic.Int64
 }
 
-// MetricsSnapshot is the JSON shape served by GET /metrics.
+// MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
+// and CacheEntries are gauges sampled at snapshot time by the caller —
+// queue depth is what an operator watches to see auto-maintain load pile
+// up behind the worker pool.
 type MetricsSnapshot struct {
-	RequestsTotal  int64 `json:"requests_total"`
-	RequestErrors  int64 `json:"request_errors"`
-	GraphsCreated  int64 `json:"graphs_created"`
-	GraphsEvicted  int64 `json:"graphs_evicted"`
-	GraphsDeleted  int64 `json:"graphs_deleted"`
-	SyncPlacements int64 `json:"sync_placements"`
-	Evaluations    int64 `json:"evaluations"`
-	JobsSubmitted  int64 `json:"jobs_submitted"`
-	JobsDeduped    int64 `json:"jobs_deduped"`
-	JobsRunning    int64 `json:"jobs_running"`
-	JobsCompleted  int64 `json:"jobs_completed"`
-	JobsFailed     int64 `json:"jobs_failed"`
-	JobsCanceled   int64 `json:"jobs_canceled"`
-	JobsRejected   int64 `json:"jobs_rejected"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
+	RequestsTotal      int64 `json:"requests_total"`
+	RequestErrors      int64 `json:"request_errors"`
+	GraphsCreated      int64 `json:"graphs_created"`
+	GraphsEvicted      int64 `json:"graphs_evicted"`
+	GraphsDeleted      int64 `json:"graphs_deleted"`
+	GraphsPatched      int64 `json:"graphs_patched"`
+	EdgesAdded         int64 `json:"edges_added"`
+	EdgesRemoved       int64 `json:"edges_removed"`
+	SyncPlacements     int64 `json:"sync_placements"`
+	Evaluations        int64 `json:"evaluations"`
+	JobsSubmitted      int64 `json:"jobs_submitted"`
+	JobsDeduped        int64 `json:"jobs_deduped"`
+	JobsRunning        int64 `json:"jobs_running"`
+	JobsCompleted      int64 `json:"jobs_completed"`
+	JobsFailed         int64 `json:"jobs_failed"`
+	JobsCanceled       int64 `json:"jobs_canceled"`
+	JobsRejected       int64 `json:"jobs_rejected"`
+	JobQueueDepth      int64 `json:"job_queue_depth"`
+	MaintainJobs       int64 `json:"maintain_jobs"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+	CacheEntries       int64 `json:"cache_entries"`
 }
 
 // Snapshot copies every counter.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		RequestsTotal:  m.RequestsTotal.Load(),
-		RequestErrors:  m.RequestErrors.Load(),
-		GraphsCreated:  m.GraphsCreated.Load(),
-		GraphsEvicted:  m.GraphsEvicted.Load(),
-		GraphsDeleted:  m.GraphsDeleted.Load(),
-		SyncPlacements: m.SyncPlacements.Load(),
-		Evaluations:    m.Evaluations.Load(),
-		JobsSubmitted:  m.JobsSubmitted.Load(),
-		JobsDeduped:    m.JobsDeduped.Load(),
-		JobsRunning:    m.JobsRunning.Load(),
-		JobsCompleted:  m.JobsCompleted.Load(),
-		JobsFailed:     m.JobsFailed.Load(),
-		JobsCanceled:   m.JobsCanceled.Load(),
-		JobsRejected:   m.JobsRejected.Load(),
-		CacheHits:      m.CacheHits.Load(),
-		CacheMisses:    m.CacheMisses.Load(),
+		RequestsTotal:      m.RequestsTotal.Load(),
+		RequestErrors:      m.RequestErrors.Load(),
+		GraphsCreated:      m.GraphsCreated.Load(),
+		GraphsEvicted:      m.GraphsEvicted.Load(),
+		GraphsDeleted:      m.GraphsDeleted.Load(),
+		GraphsPatched:      m.GraphsPatched.Load(),
+		EdgesAdded:         m.EdgesAdded.Load(),
+		EdgesRemoved:       m.EdgesRemoved.Load(),
+		SyncPlacements:     m.SyncPlacements.Load(),
+		Evaluations:        m.Evaluations.Load(),
+		JobsSubmitted:      m.JobsSubmitted.Load(),
+		JobsDeduped:        m.JobsDeduped.Load(),
+		JobsRunning:        m.JobsRunning.Load(),
+		JobsCompleted:      m.JobsCompleted.Load(),
+		JobsFailed:         m.JobsFailed.Load(),
+		JobsCanceled:       m.JobsCanceled.Load(),
+		JobsRejected:       m.JobsRejected.Load(),
+		MaintainJobs:       m.MaintainJobs.Load(),
+		CacheHits:          m.CacheHits.Load(),
+		CacheMisses:        m.CacheMisses.Load(),
+		CacheInvalidations: m.CacheInvalidations.Load(),
 	}
 }

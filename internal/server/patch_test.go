@@ -1,0 +1,228 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// patchJSON sends a PATCH to /v1/graphs/{id}/edges.
+func patchJSON(t *testing.T, base, id string, spec server.PatchSpec, out *server.PatchResult) int {
+	t.Helper()
+	var dst any
+	if out != nil {
+		dst = out
+	}
+	return doJSON(t, "PATCH", base+"/v1/graphs/"+id+"/edges", spec, dst)
+}
+
+func metricsSnapshot(t *testing.T, base string) server.MetricsSnapshot {
+	t.Helper()
+	var snap server.MetricsSnapshot
+	if code := doJSON(t, "GET", base+"/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	return snap
+}
+
+// TestPatchRoundTripWithCacheInvalidation is the acceptance criterion:
+// PATCH round-trips through fpd and drops the stale cached placement.
+func TestPatchRoundTripWithCacheInvalidation(t *testing.T) {
+	ts := newTestServer(t, server.Config{Workers: 2})
+	info := uploadDiamond(t, ts.URL)
+
+	// Cache a greedy placement for the pristine diamond.
+	var ji server.JobInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		server.PlaceSpec{Algorithm: "gall", K: 1}, &ji); code != http.StatusAccepted {
+		t.Fatalf("place: status %d", code)
+	}
+	done := waitJob(t, ts.URL, ji.ID)
+	if done.State != server.JobDone || done.Result == nil {
+		t.Fatalf("job = %+v", done)
+	}
+	// A repeat query must now answer 200 from the cache.
+	var cached server.PlaceResult
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		server.PlaceSpec{Algorithm: "gall", K: 1}, &cached); code != http.StatusOK || !cached.Cached {
+		t.Fatalf("expected cache hit, status %d cached %v", code, cached.Cached)
+	}
+
+	// Mutate: graft a second junction feeding the sink.
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{AddNodes: 1, Add: [][2]int{{1, 4}, {1, 5}, {2, 5}, {5, 4}}}, &pr); code != http.StatusOK {
+		t.Fatalf("patch: status %d", code)
+	}
+	if pr.Graph.Nodes != 6 || pr.EdgesAdded != 4 || pr.NodesAdded != 1 || pr.Graph.Patches != 1 {
+		t.Fatalf("patch result = %+v", pr)
+	}
+	if pr.Invalidated < 1 {
+		t.Fatalf("cache_invalidated = %d, want ≥ 1", pr.Invalidated)
+	}
+
+	// The graph info endpoint serves the mutated shape.
+	var got server.GraphInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/"+info.ID, nil, &got); code != http.StatusOK {
+		t.Fatalf("GET graph: status %d", code)
+	}
+	if got.Nodes != 6 || got.Edges != 9 {
+		t.Fatalf("info after patch = %+v", got)
+	}
+
+	// The same placement query must MISS now (202: a fresh job), and its
+	// result must reflect the mutated graph.
+	var ji2 server.JobInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		server.PlaceSpec{Algorithm: "gall", K: 1}, &ji2); code != http.StatusAccepted {
+		t.Fatalf("place after patch: status %d, want 202 (stale cache served?)", code)
+	}
+	done2 := waitJob(t, ts.URL, ji2.ID)
+	if done2.State != server.JobDone || done2.Result == nil {
+		t.Fatalf("job2 = %+v", done2)
+	}
+	if done2.Result.PhiEmpty == done.Result.PhiEmpty {
+		t.Fatalf("Φ(∅) unchanged (%v) — placement ran on the stale graph", done.Result.PhiEmpty)
+	}
+
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.GraphsPatched != 1 || snap.EdgesAdded != 4 || snap.CacheInvalidations < 1 {
+		t.Errorf("metrics = %+v", snap)
+	}
+}
+
+func TestPatchCycleRejected(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadDiamond(t, ts.URL)
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{Add: [][2]int{{4, 3}}}, &pr); code != http.StatusConflict {
+		t.Fatalf("cyclic patch: status %d, want 409", code)
+	}
+	// Nothing changed.
+	var got server.GraphInfo
+	doJSON(t, "GET", ts.URL+"/v1/graphs/"+info.ID, nil, &got)
+	if got.Edges != 5 || got.Patches != 0 {
+		t.Fatalf("info after rejected patch = %+v", got)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadDiamond(t, ts.URL)
+	cases := []struct {
+		name string
+		spec server.PatchSpec
+		code int
+	}{
+		{"unknown graph handled elsewhere", server.PatchSpec{}, http.StatusBadRequest},
+		{"empty batch", server.PatchSpec{}, http.StatusBadRequest},
+		{"bad text patch", server.PatchSpec{Patch: "+ 1\n"}, http.StatusBadRequest},
+		{"missing removal", server.PatchSpec{Remove: [][2]int{{0, 4}}}, http.StatusUnprocessableEntity},
+		{"duplicate add", server.PatchSpec{Add: [][2]int{{0, 3}, {0, 3}}}, http.StatusUnprocessableEntity},
+		{"edge into source", server.PatchSpec{Add: [][2]int{{4, 0}}}, http.StatusUnprocessableEntity},
+		{"maintain without k", server.PatchSpec{Add: [][2]int{{0, 3}}, Maintain: true}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := patchJSON(t, ts.URL, info.ID, tc.spec, nil); code != tc.code {
+				t.Errorf("status %d, want %d", code, tc.code)
+			}
+		})
+	}
+	if code := patchJSON(t, ts.URL, "nope", server.PatchSpec{Add: [][2]int{{0, 3}}}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown graph: status %d, want 404", code)
+	}
+}
+
+func TestPatchTextForm(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadDiamond(t, ts.URL)
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{Patch: "# graft\nn 1\n+ 3 5\n- 0 2\n"}, &pr); code != http.StatusOK {
+		t.Fatalf("text patch: status %d", code)
+	}
+	if pr.NodesAdded != 1 || pr.EdgesAdded != 1 || pr.EdgesRemoved != 1 {
+		t.Fatalf("text patch result = %+v", pr)
+	}
+}
+
+// TestPatchAutoMaintain drives the auto-maintain job kind end to end: the
+// job computes a placement for the mutated graph, and once the maintainer
+// is warm a local mutation takes the incremental path.
+func TestPatchAutoMaintain(t *testing.T) {
+	ts := newTestServer(t, server.Config{Workers: 2})
+	// A wide fan off the root (nodes 1..40 are sinks) plus one diamond
+	// 41→{42,43}→44→45 hanging off it: mutations inside the diamond leave
+	// the fan's propagation state untouched, so drift stays small.
+	var sb strings.Builder
+	for i := 1; i <= 40; i++ {
+		fmt.Fprintf(&sb, "0 %d\n", i)
+	}
+	sb.WriteString("0 41\n41 42\n41 43\n42 44\n43 44\n44 45\n")
+	var info server.GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		server.GraphSpec{Name: "fan+diamond", Edges: sb.String()}, &info); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{AddNodes: 1, Add: [][2]int{{42, 46}}, Maintain: true, K: 1}, &pr); code != http.StatusOK {
+		t.Fatalf("patch: status %d", code)
+	}
+	if pr.Job == nil {
+		t.Fatalf("no maintain job enqueued: %+v", pr)
+	}
+	done := waitJob(t, ts.URL, pr.Job.ID)
+	if done.State != server.JobDone || done.Result == nil {
+		t.Fatalf("maintain job = %+v", done)
+	}
+	res := done.Result
+	if res.Algorithm != "maintain" || res.Maintain == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Maintain.Strategy != "initial" {
+		t.Fatalf("strategy = %q, want initial on a fresh maintainer", res.Maintain.Strategy)
+	}
+	if len(res.Filters) != 1 || res.Filters[0] != 44 {
+		t.Fatalf("maintained filters = %v, want [44]", res.Filters)
+	}
+	if res.F <= 0 || res.FR <= 0 {
+		t.Fatalf("objective not reported: %+v", res)
+	}
+
+	// Second local batch: the warm maintainer repairs incrementally.
+	var pr2 server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{AddNodes: 1, Add: [][2]int{{43, 47}}, Maintain: true, K: 1}, &pr2); code != http.StatusOK {
+		t.Fatalf("patch 2: status %d", code)
+	}
+	done2 := waitJob(t, ts.URL, pr2.Job.ID)
+	if done2.State != server.JobDone || done2.Result == nil || done2.Result.Maintain == nil {
+		t.Fatalf("maintain job 2 = %+v", done2)
+	}
+	if got := done2.Result.Maintain.Strategy; got != "incremental" {
+		t.Fatalf("strategy = %q, want incremental on the second batch", got)
+	}
+	if got := done2.Result.Filters; len(got) != 1 || got[0] != 44 {
+		t.Fatalf("maintained filters after batch 2 = %v, want [44]", got)
+	}
+
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.MaintainJobs != 2 {
+		t.Errorf("maintain_jobs = %d, want 2", snap.MaintainJobs)
+	}
+}
+
+func TestMetricsGauges(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.JobQueueDepth != 0 || snap.CacheEntries != 0 {
+		t.Errorf("fresh gauges = %+v", snap)
+	}
+}

@@ -38,6 +38,9 @@ type PlaceResult struct {
 	F         float64  `json:"f"`
 	FR        float64  `json:"fr"`
 	Cached    bool     `json:"cached"`
+	// Maintain is set by the auto-maintain job kind: what the maintenance
+	// pass did to the previous placement.
+	Maintain *MaintainInfo `json:"maintain,omitempty"`
 }
 
 // algoSpec describes one placement algorithm: how to run it, whether it
@@ -139,11 +142,15 @@ func (sp *PlaceSpec) newEvaluator(m *flow.Model) flow.Evaluator {
 	return flow.NewFloat(m)
 }
 
-// cacheKey identifies a placement result: same graph, sources, algorithm,
-// budget, engine and seed ⇒ same result.
-func (sp *PlaceSpec) cacheKey(graphID string, sources []int) string {
+// cacheKey identifies a placement result: same graph, graph version,
+// sources, algorithm, budget, engine and seed ⇒ same result. version is
+// the graph's patch count, so a job still in flight when a PATCH commits
+// writes its result under the superseded version and can never be served
+// for the mutated graph — invalidateGraph reclaims the memory, the
+// version keeps the correctness.
+func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%d|%s|%d|", graphID, sp.Algorithm, sp.K, sp.Engine, sp.Seed)
+	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed)
 	for _, s := range sources {
 		fmt.Fprintf(&b, "%d,", s)
 	}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/dyn"
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -223,16 +225,31 @@ type GraphInfo struct {
 	Sources   []int     `json:"sources"`
 	Sinks     int       `json:"sinks"`
 	Hits      int64     `json:"hits"`
+	// Patches counts committed PATCH batches; a non-zero value marks the
+	// graph as dynamic.
+	Patches   int64     `json:"patches,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
 // graphEntry is one registry slot. The model (and the digraph inside it)
-// is immutable and shared by every request that reads the entry; only the
-// bookkeeping fields mutate, under the registry lock.
+// is immutable and shared by every request that reads the entry; the
+// bookkeeping fields mutate under the registry lock. The dynamic overlay
+// and its maintainer — created lazily on the first PATCH — mutate under
+// dynMu, which is never acquired while holding the registry lock (the
+// reverse order, dynMu → registry lock, is the one mutation and maintain
+// paths use).
 type graphEntry struct {
 	info  GraphInfo
 	model *flow.Model
+
+	dynMu      sync.Mutex
+	dynamic    *dyn.Dynamic
+	maintainer *dyn.Maintainer
 }
+
+// ErrUnknownGraph is returned by mutation paths when the graph id is not
+// registered (or already evicted).
+var ErrUnknownGraph = errors.New("server: unknown graph")
 
 // Registry is the concurrency-safe LRU-bounded graph store. Get bumps
 // recency; Add evicts the least-recently-used graph beyond capacity.
@@ -283,6 +300,119 @@ func (r *Registry) Get(id string) (*flow.Model, GraphInfo, bool) {
 	}
 	e.info.Hits++
 	return e.model, e.info, true
+}
+
+// entry returns the registry slot for id, bumping recency (an actively
+// mutated or maintained graph is in use and must not be the LRU eviction
+// victim) but not the client-visible hit count.
+func (r *Registry) entry(id string) (*graphEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries.get(id)
+}
+
+// Patch applies a mutation batch to graph id, upgrading the entry to a
+// dynamic overlay on first use and swapping in a refreshed immutable model
+// for readers. It returns the updated info and the overlay's apply result;
+// a rejected batch (cycle, bad edge) changes nothing. The entry's dynMu
+// serializes mutations and maintenance per graph while other graphs stay
+// fully concurrent.
+func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, error) {
+	e, ok := r.entry(id)
+	if !ok {
+		return GraphInfo{}, dyn.ApplyResult{}, ErrUnknownGraph
+	}
+	e.dynMu.Lock()
+	defer e.dynMu.Unlock()
+	if err := r.upgradeLocked(e); err != nil {
+		return GraphInfo{}, dyn.ApplyResult{}, err
+	}
+	var (
+		res dyn.ApplyResult
+		err error
+	)
+	// Route through the maintainer when one exists so its incremental flow
+	// state stays warm; otherwise mutate the overlay directly.
+	if e.maintainer != nil {
+		res, err = e.maintainer.Apply(b)
+	} else {
+		res, err = e.dynamic.Apply(b)
+	}
+	if err != nil {
+		return GraphInfo{}, res, err
+	}
+	// The overlay pins the sources, so a fresh model over the snapshot
+	// cannot fail validation.
+	model, err := flow.NewModel(e.dynamic.Snapshot(), e.dynamic.Sources())
+	if err != nil {
+		return GraphInfo{}, res, err
+	}
+
+	r.mu.Lock()
+	// The entry may have been evicted between entry() and here; the
+	// orphan's mutation is then moot and the client must see the graph as
+	// gone rather than a confirmed patch on a 404-ing id.
+	if cur, ok := r.entries.peek(id); !ok || cur != e {
+		r.mu.Unlock()
+		return GraphInfo{}, res, ErrUnknownGraph
+	}
+	e.model = model
+	e.info.Nodes = e.dynamic.N()
+	e.info.Edges = e.dynamic.M()
+	e.info.Sinks = len(model.Graph().Sinks())
+	e.info.Patches++
+	info := e.info
+	r.mu.Unlock()
+
+	r.metrics.GraphsPatched.Add(1)
+	r.metrics.EdgesAdded.Add(int64(res.EdgesAdded))
+	r.metrics.EdgesRemoved.Add(int64(res.EdgesRemoved))
+	return info, res, nil
+}
+
+// Maintainer returns graph id's placement maintainer with budget k,
+// creating or re-budgeting it as needed, plus the function to release the
+// per-entry lock the caller now holds. The lock spans the whole maintain
+// run so a concurrent PATCH cannot mutate the overlay mid-placement.
+func (r *Registry) Maintainer(id string, k int) (*dyn.Maintainer, func(), error) {
+	e, ok := r.entry(id)
+	if !ok {
+		return nil, nil, ErrUnknownGraph
+	}
+	e.dynMu.Lock()
+	if err := r.upgradeLocked(e); err != nil {
+		e.dynMu.Unlock()
+		return nil, nil, err
+	}
+	if e.maintainer == nil {
+		mt, err := dyn.NewMaintainer(e.dynamic, dyn.Options{K: k}, nil)
+		if err != nil {
+			e.dynMu.Unlock()
+			return nil, nil, err
+		}
+		e.maintainer = mt
+	} else if err := e.maintainer.SetK(k); err != nil {
+		e.dynMu.Unlock()
+		return nil, nil, err
+	}
+	return e.maintainer, e.dynMu.Unlock, nil
+}
+
+// upgradeLocked creates the dynamic overlay from the current immutable
+// model; the caller holds e.dynMu.
+func (r *Registry) upgradeLocked(e *graphEntry) error {
+	if e.dynamic != nil {
+		return nil
+	}
+	r.mu.Lock()
+	m := e.model
+	r.mu.Unlock()
+	d, err := dyn.FromDigraph(m.Graph(), m.Sources())
+	if err != nil {
+		return err
+	}
+	e.dynamic = d
+	return nil
 }
 
 // Delete removes a graph; it reports whether the id existed.

@@ -3,7 +3,11 @@
 //
 //   - A concurrency-safe graph Registry: clients upload edge lists or
 //     instantiate any internal/gen generator by name; graphs are immutable
-//     and shared across requests, LRU-bounded with per-graph stats.
+//     and shared across requests, LRU-bounded with per-graph stats. A
+//     PATCH upgrades a graph to a dynamic overlay (internal/dyn): batched
+//     edge mutations apply atomically, stale cached placements are
+//     invalidated, and an optional auto-maintain job refreshes the filter
+//     placement incrementally.
 //   - An async JobEngine: expensive placements (GreedyAll/CELF) run on a
 //     worker pool with queued/running/done/failed/canceled states,
 //     context-based cancellation, and an LRU result cache keyed by
@@ -105,6 +109,7 @@ func (s *Server) Routes() map[string]http.HandlerFunc {
 		"GET /v1/graphs":               s.handleListGraphs,
 		"GET /v1/graphs/{id}":          s.handleGetGraph,
 		"DELETE /v1/graphs/{id}":       s.handleDeleteGraph,
+		"PATCH /v1/graphs/{id}/edges":  s.handlePatchEdges,
 		"POST /v1/graphs/{id}/place":   s.handlePlace,
 		"GET /v1/graphs/{id}/evaluate": s.handleEvaluate,
 		"GET /v1/jobs":                 s.handleListJobs,
