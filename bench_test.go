@@ -382,3 +382,42 @@ func BenchmarkMaintainVsRecompute(b *testing.B) {
 		})
 	}
 }
+
+// --- Parallel placement (core.Place). One iteration = a full k = 20
+// greedy-all placement on the ~90K-node Twitter stand-in at the given
+// worker count; every P returns bit-identical filters, so the sub-bench
+// ratio is pure parallel-speedup signal. BENCH_parallel.json records the
+// scaling curve measured on the CI-class host (near-linear scaling needs
+// physical cores; a single-CPU container reports ~1×). The CELF group
+// measures the cloned-evaluator sharding of lazy re-evaluation instead of
+// the level-parallel passes.
+
+const parallelBenchK = 20
+
+func placeParallel(b *testing.B, strategy fp.PlaceStrategy, procs int) {
+	fx := twitter(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fp.Place(context.Background(), fx.ev, parallelBenchK,
+			fp.PlaceOptions{Strategy: strategy, Parallelism: procs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Filters) == 0 {
+			b.Fatal("no filters placed")
+		}
+	}
+}
+
+func BenchmarkPlaceParallel(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("greedy-all/procs=%d", procs), func(b *testing.B) {
+			placeParallel(b, fp.StrategyGreedyAll, procs)
+		})
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("celf/procs=%d", procs), func(b *testing.B) {
+			placeParallel(b, fp.StrategyCELF, procs)
+		})
+	}
+}

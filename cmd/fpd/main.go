@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxJobs   = fs.Int("max-jobs", 1024, "retained job records (older terminal jobs are pruned)")
 		maxGraphs = fs.Int("max-graphs", 32, "graph registry capacity (LRU)")
 		cacheSize = fs.Int("cache-size", 256, "placement result cache capacity (LRU)")
+		maxPar    = fs.Int("max-parallelism", 0, "cap on the per-placement 'parallelism' request field (0: GOMAXPROCS)")
 		grace     = fs.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		quiet     = fs.Bool("q", false, "disable request logging")
 	)
@@ -77,12 +78,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxJobs:    *maxJobs,
-		MaxGraphs:  *maxGraphs,
-		CacheSize:  *cacheSize,
-		Logger:     reqLogger,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxJobs:        *maxJobs,
+		MaxGraphs:      *maxGraphs,
+		CacheSize:      *cacheSize,
+		MaxParallelism: *maxPar,
+		Logger:         reqLogger,
 	})
 	defer srv.Close()
 

@@ -8,6 +8,7 @@
 //	fpexp -exp all -quick
 //	fpexp -exp fig5a -csv > fig5a.csv
 //	fpexp -exp fig8 -plot
+//	fpexp -exp fig11 -procs 8    # parallel marginal-gain workers
 //
 // Experiment ids follow DESIGN.md's per-experiment index: fig1–fig11,
 // prop1, and the abl-* ablations.

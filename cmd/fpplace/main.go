@@ -5,9 +5,13 @@
 // Usage:
 //
 //	fpplace -in graph.edges -k 10 -algo gall
+//	fpplace -in graph.edges -k 20 -algo gall -procs 8
 //	fpplace -in graph.edges -k 5 -algo gmax -engine big
 //	fpplace -in cyclic.edges -acyclic -source 0 -k 4
 //	fpplace -in graph.edges -impacts
+//
+// -procs shards each greedy round's marginal-gain evaluation across that
+// many goroutines; the placement is bit-for-bit identical at any setting.
 //
 // Cyclic inputs must be passed through -acyclic, which runs the paper's
 // Acyclic extraction before placement (use -source to pick the DFS root, or

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -84,7 +85,8 @@ func main() {
 	baseline := ev.Phi(fp.AllFilters(model))
 	fmt.Println("\nk    transmissions   vs suppression-everywhere (same DAG)")
 	for _, k := range []int{0, 4, 16, 64} {
-		filters := fp.GreedyAll(ev, k)
+		res, _ := fp.Place(context.Background(), ev, k, fp.PlaceOptions{})
+		filters := res.Filters
 		phi := ev.Phi(fp.MaskOf(dag.N(), filters))
 		fmt.Printf("%-4d %-14.0f ×%.2f\n", len(filters), phi, phi/baseline)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,8 @@ func main() {
 	// The trap: the ten highest static impacts are the gateway paper and
 	// the chain behind it.
 	impacts := ev.Impacts(nil)
-	top := fp.GreedyMax(ev, 10)
+	topRes, _ := fp.Place(context.Background(), ev, 10, fp.PlaceOptions{Strategy: fp.StrategyGreedyMax})
+	top := topRes.Filters
 	fmt.Println("Top-10 papers by static impact (G_Max's picks):")
 	for i, v := range top {
 		fmt.Printf("  %2d. paper %-6d impact %.4g\n", i+1, v, impacts[v])
@@ -43,7 +45,8 @@ func main() {
 	fmt.Println("already de-duplicates everything the chain papers relay.")
 
 	// Greedy_All recomputes impacts after each pick.
-	plan := fp.GreedyAll(ev, 10)
+	planRes, _ := fp.Place(context.Background(), ev, 10, fp.PlaceOptions{})
+	plan := planRes.Filters
 	fmt.Println("\nGreedy_All's adaptive plan:")
 	mask := make([]bool, g.N())
 	for i, v := range plan {

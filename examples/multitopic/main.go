@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,8 +50,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	planA := fp.GreedyAll(fp.NewFloat(single), 10)
-	planB := fp.GreedyAll(multi, 10)
+	resA, _ := fp.Place(context.Background(), fp.NewFloat(single), 10, fp.PlaceOptions{})
+	resB, _ := fp.Place(context.Background(), multi, 10, fp.PlaceOptions{})
+	planA, planB := resA.Filters, resB.Filters
 
 	fmt.Println("\nk    breaking-only FR   aggregate-aware FR")
 	for _, k := range []int{2, 4, 6, 8, 10} {

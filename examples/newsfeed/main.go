@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -47,7 +48,8 @@ func main() {
 
 	// Sweep the filter budget with Greedy_All and report marginal value.
 	fmt.Println("k   filter at   FR      duplicates left")
-	plan := fp.GreedyAll(ev, 8)
+	res, _ := fp.Place(context.Background(), ev, 8, fp.PlaceOptions{})
+	plan := res.Filters
 	mask := make([]bool, g.N())
 	for i, site := range plan {
 		mask[site] = true

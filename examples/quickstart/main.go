@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,8 @@ func main() {
 		ev.Phi(nil), g.N()-1, g.N()-1)
 
 	// Place one filter with the paper's Greedy_All.
-	filters := fp.GreedyAll(ev, 1)
+	res, _ := fp.Place(context.Background(), ev, 1, fp.PlaceOptions{})
+	filters := res.Filters
 	mask := fp.MaskOf(g.N(), filters)
 	fmt.Printf("Greedy_All places a filter at %q.\n", g.Label(filters[0]))
 	fmt.Printf("Φ drops %.0f → %.0f; Filter Ratio = %.2f (1.00 = all removable redundancy gone).\n",

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,7 +54,8 @@ func main() {
 			model = model.WithWeights(func(u, v int) float64 { return prob })
 		}
 		ev := fp.NewFloat(model) // the float engine handles weighted models
-		filters := fp.GreedyAll(ev, 4)
+		res, _ := fp.Place(context.Background(), ev, 4, fp.PlaceOptions{})
+		filters := res.Filters
 		mask := fp.MaskOf(g.N(), filters)
 		fmt.Printf("%.2f     %12.1f  %-20s %.4f\n", p, ev.Phi(nil), fmt.Sprint(filters), fp.FR(ev, mask))
 	}

@@ -18,11 +18,15 @@
 //   - Propagation models and objective evaluation: NewModel, NewFloat
 //     (fast float64, supports probabilistic edge weights), NewBig (exact
 //     big-integer arithmetic), FR.
-//   - Placement algorithms: GreedyAll — the paper's (1−1/e)-approximation —
-//     with GreedyAllCELF as a lazy variant, the scalable heuristics
-//     GreedyMax, Greedy1 and GreedyL, randomized baselines RandK, RandI,
-//     RandW, the exact TreeDP for communication trees, Exhaustive for tiny
-//     instances, and UnboundedOptimal (Proposition 1).
+//   - Placement: Place, the unified engine — every algorithm of the paper
+//     (greedy-all, its celf/naive cost profiles, greedy-max, greedy-1,
+//     greedy-l, the rand-* baselines, prop1) behind one entry point with
+//     context cancellation, oracle accounting and a Parallelism option
+//     that shards per-round marginal-gain evaluation across cloned
+//     evaluators (results are bit-for-bit identical to serial). The
+//     per-algorithm names (GreedyAll, GreedyAllCELF, …) remain as thin
+//     deprecated wrappers; TreeDP (exact on communication trees) and
+//     Exhaustive (tiny instances) stay separate.
 //   - Cyclic inputs: Acyclic and AcyclicBestRoot extract a maximal
 //     connected acyclic subgraph first (paper §4.3).
 //   - Dataset generators used by the paper's evaluation, from the layered
@@ -42,8 +46,8 @@
 //	g := fp.MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
 //	model, _ := fp.NewModel(g, nil)        // sources = in-degree-0 nodes
 //	ev := fp.NewFloat(model)
-//	filters := fp.GreedyAll(ev, 1)         // → [3's parent junction]
-//	fmt.Println(fp.FR(ev, fp.MaskOf(g.N(), filters)))
+//	res, _ := fp.Place(context.Background(), ev, 1, fp.PlaceOptions{})
+//	fmt.Println(fp.FR(ev, fp.MaskOf(g.N(), res.Filters)))
 package fp
 
 import (
@@ -158,12 +162,64 @@ func NodesOf(mask []bool) []int { return flow.NodesOf(mask) }
 // AllFilters returns the mask with a filter at every non-source node.
 func AllFilters(m *Model) []bool { return flow.AllFilters(m) }
 
+// PlaceStrategy names a placement algorithm for Place.
+type PlaceStrategy = core.Strategy
+
+// The strategies Place accepts. StrategyGreedyAll is the paper's
+// (1−1/e)-approximation; StrategyCELF and StrategyNaive are its lazy and
+// paper-cost-profile variants (same filter sets, counted oracle calls);
+// the rest are the paper's heuristics and baselines.
+const (
+	StrategyGreedyAll   = core.StrategyGreedyAll
+	StrategyCELF        = core.StrategyCELF
+	StrategyNaive       = core.StrategyNaive
+	StrategyGreedyMax   = core.StrategyGreedyMax
+	StrategyGreedy1     = core.StrategyGreedy1
+	StrategyGreedyL     = core.StrategyGreedyL
+	StrategyGreedyLFast = core.StrategyGreedyLFast
+	StrategyRandK       = core.StrategyRandK
+	StrategyRandI       = core.StrategyRandI
+	StrategyRandW       = core.StrategyRandW
+	StrategyProp1       = core.StrategyProp1
+)
+
+// PlaceStrategies lists every strategy Place accepts.
+func PlaceStrategies() []PlaceStrategy { return core.Strategies() }
+
+// PlaceOptions configures Place: strategy, parallelism (worker goroutines
+// for marginal-gain evaluation — results are bit-for-bit identical to the
+// serial path at any setting), and the seed/rng of randomized baselines.
+type PlaceOptions = core.Options
+
+// Placement is Place's outcome: the filters, the oracle-work stats and
+// the effective parallelism.
+type Placement = core.Result
+
+// Place is the unified placement engine; see PlaceOptions for the knobs.
+// It returns ctx.Err() when canceled mid-placement.
+func Place(ctx context.Context, ev Evaluator, k int, opts PlaceOptions) (Placement, error) {
+	return core.Place(ctx, ev, k, opts)
+}
+
+// CloneableEvaluator is implemented by evaluators that duplicate cheaply
+// for concurrent use (NewFloat, NewBig and NewMulti engines all qualify);
+// Place's Parallelism option shards candidates across clones.
+type CloneableEvaluator = flow.Cloner
+
+// ParallelEvaluator is implemented by evaluators whose topological passes
+// parallelize internally by level (NewFloat's engine qualifies).
+type ParallelEvaluator = flow.ParallelEvaluator
+
 // GreedyAll is the paper's Greedy_All (1−1/e)-approximation: k rounds of
 // exact marginal-gain maximization, O(k·|E|) total.
+//
+// Deprecated: use Place with StrategyGreedyAll.
 func GreedyAll(ev Evaluator, k int) []int { return core.GreedyAll(ev, k) }
 
 // GreedyAllCtx is GreedyAll with a cancellation check between rounds; it
 // returns ctx.Err() when canceled mid-placement.
+//
+// Deprecated: use Place with StrategyGreedyAll.
 func GreedyAllCtx(ctx context.Context, ev Evaluator, k int) ([]int, error) {
 	return core.GreedyAllCtx(ctx, ev, k)
 }
@@ -173,28 +229,40 @@ type OracleStats = core.OracleStats
 
 // GreedyAllCELF is GreedyAll with CELF lazy evaluation; identical output,
 // counted gain evaluations.
+//
+// Deprecated: use Place with StrategyCELF.
 func GreedyAllCELF(ev Evaluator, k int) ([]int, OracleStats) { return core.GreedyAllCELF(ev, k) }
 
 // GreedyAllCELFCtx is GreedyAllCELF with a cancellation check on every
 // lazy-evaluation step.
+//
+// Deprecated: use Place with StrategyCELF.
 func GreedyAllCELFCtx(ctx context.Context, ev Evaluator, k int) ([]int, OracleStats, error) {
 	return core.GreedyAllCELFCtx(ctx, ev, k)
 }
 
 // GreedyMax computes all impacts once and keeps the top k (paper's
 // Greedy_Max).
+//
+// Deprecated: use Place with StrategyGreedyMax.
 func GreedyMax(ev Evaluator, k int) []int { return core.GreedyMax(ev, k) }
 
 // Greedy1 ranks nodes by din·dout and keeps the top k (paper's Greedy_1).
+//
+// Deprecated: use Place with StrategyGreedy1.
 func Greedy1(g *Graph, k int) []int { return core.Greedy1(g, k) }
 
 // GreedyL iteratively places filters at the maximizer of Prefix(v)·dout(v)
 // (paper's Greedy_L).
+//
+// Deprecated: use Place with StrategyGreedyL.
 func GreedyL(ev Evaluator, k int) []int { return core.GreedyL(ev, k) }
 
 // GreedyLFast is GreedyL with incremental prefix maintenance (the paper's
 // "clever bookkeeping" running-time remark); identical output, updates
 // proportional to the affected cone instead of |E| per round.
+//
+// Deprecated: use Place with StrategyGreedyLFast.
 func GreedyLFast(ev Evaluator, k int) []int { return core.GreedyLFast(ev, k) }
 
 // RandK, RandI and RandW are the paper's randomized baselines.

@@ -2,6 +2,8 @@ package fp_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -363,5 +365,39 @@ func TestFacadeExhaustiveMatchesPaperFigure3(t *testing.T) {
 	}
 	if fr := fp.FR(ev, fp.AllFilters(model)); fr != 1 {
 		t.Errorf("FR(V) = %v", fr)
+	}
+}
+
+// TestPlaceFacade exercises the unified Place entry point through the
+// facade: parallel and serial runs agree with the deprecated wrappers.
+func TestPlaceFacade(t *testing.T) {
+	g, src := fp.Layered(6, 40, 1, 4, 1)
+	model, err := fp.NewModel(g, []int{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := fp.NewFloat(model)
+	want := fp.GreedyAll(ev, 6)
+	for _, procs := range []int{0, 1, 4} {
+		res, err := fp.Place(context.Background(), ev, 6, fp.PlaceOptions{Parallelism: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Filters) != fmt.Sprint(want) {
+			t.Errorf("procs %d: Place %v, GreedyAll %v", procs, res.Filters, want)
+		}
+	}
+	celf, err := fp.Place(context.Background(), ev, 6, fp.PlaceOptions{Strategy: fp.StrategyCELF, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(celf.Filters) != fmt.Sprint(want) {
+		t.Errorf("CELF strategy diverged: %v vs %v", celf.Filters, want)
+	}
+	if celf.Stats.GainEvaluations == 0 {
+		t.Error("CELF reported no oracle work")
+	}
+	if len(fp.PlaceStrategies()) < 11 {
+		t.Errorf("PlaceStrategies lists %d strategies", len(fp.PlaceStrategies()))
 	}
 }

@@ -6,10 +6,10 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"strings"
 
@@ -33,6 +33,7 @@ func RunFpexp(args []string, stdout, stderr io.Writer) error {
 		quick = fs.Bool("quick", false, "shrink datasets for a fast smoke run")
 		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot  = fs.Bool("plot", false, "also draw FR figures as ASCII plots")
+		procs = fs.Int("procs", 1, "parallel marginal-gain workers for the greedy algorithms (series are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +44,7 @@ func RunFpexp(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
-	opt := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick, Parallelism: *procs}
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
@@ -142,11 +143,12 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	var (
 		in        = fs.String("in", "", "edge-list input file ('-' for stdin)")
 		k         = fs.Int("k", 10, "filter budget")
-		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | celf | randk | randi | randw | prop1 | tree")
+		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | naive | randk | randi | randw | prop1 | tree")
 		engine    = fs.String("engine", "float", "float | big (exact)")
 		source    = fs.Int("source", -1, "source node id (-1: all in-degree-0 nodes, or best root with -acyclic)")
 		acyclicF  = fs.Bool("acyclic", false, "extract a maximal acyclic subgraph first (paper §4.3)")
 		seed      = fs.Int64("seed", 1, "seed for randomized baselines")
+		procs     = fs.Int("procs", 1, "parallel marginal-gain workers (placement is identical at any setting)")
 		quiet     = fs.Bool("q", false, "print only the filter node list")
 		showStats = fs.Bool("stats", false, "print graph degree statistics")
 		impacts   = fs.Bool("impacts", false, "print the per-node impact table instead of placing filters")
@@ -243,28 +245,33 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 		return nil
 	}
 
+	// CLI names map onto core.Place strategies; "tree" stays separate
+	// (the exact DP has a different signature and tree-only semantics).
+	strategies := map[string]core.Strategy{
+		"gall":   core.StrategyGreedyAll,
+		"celf":   core.StrategyCELF,
+		"naive":  core.StrategyNaive,
+		"gmax":   core.StrategyGreedyMax,
+		"g1":     core.StrategyGreedy1,
+		"gl":     core.StrategyGreedyL,
+		"glfast": core.StrategyGreedyLFast,
+		"randk":  core.StrategyRandK,
+		"randi":  core.StrategyRandI,
+		"randw":  core.StrategyRandW,
+		"prop1":  core.StrategyProp1,
+	}
 	var filters []int
-	rng := rand.New(rand.NewSource(*seed))
-	switch *algo {
-	case "gall":
-		filters = core.GreedyAll(ev, *k)
-	case "celf":
-		filters, _ = core.GreedyAllCELF(ev, *k)
-	case "gmax":
-		filters = core.GreedyMax(ev, *k)
-	case "g1":
-		filters = core.Greedy1(g, *k)
-	case "gl":
-		filters = core.GreedyL(ev, *k)
-	case "randk":
-		filters = core.RandK(m, *k, rng)
-	case "randi":
-		filters = core.RandI(m, *k, rng)
-	case "randw":
-		filters = core.RandW(m, *k, rng)
-	case "prop1":
-		filters = core.UnboundedOptimal(g)
-	case "tree":
+	if strat, ok := strategies[*algo]; ok {
+		res, err := core.Place(context.Background(), ev, *k, core.Options{
+			Strategy:    strat,
+			Parallelism: *procs,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+		filters = res.Filters
+	} else if *algo == "tree" {
 		if len(m.Sources()) != 1 {
 			return fmt.Errorf("fpplace: tree DP needs exactly one source, have %d", len(m.Sources()))
 		}
@@ -272,7 +279,7 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 		if err != nil {
 			return fmt.Errorf("fpplace: %w", err)
 		}
-	default:
+	} else {
 		return fmt.Errorf("fpplace: unknown algorithm %q", *algo)
 	}
 

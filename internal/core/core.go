@@ -5,6 +5,13 @@
 // dynamic program for communication trees, an exhaustive optimal solver for
 // validation, and Proposition 1's unbounded-budget optimal set.
 //
+// Place is the unified entry point: one engine with pluggable strategies,
+// shared context/cancellation plumbing, oracle accounting and an optional
+// parallel inner loop that shards per-round marginal-gain evaluation
+// across cloned evaluators with results bit-for-bit identical to the
+// serial path. The per-algorithm functions (GreedyAll, GreedyAllCELF,
+// GreedyL, …) remain as thin deprecated wrappers.
+//
 // All algorithms return the placed filter nodes in the order chosen (greedy
 // algorithms) or ascending order (set-valued algorithms); the returned slice
 // may be shorter than k when further filters cannot improve the objective.
@@ -25,39 +32,33 @@ import (
 // objective F. This implementation computes all marginal gains with one
 // forward and one backward topological pass per iteration (O(k·|E|) total),
 // improving on the paper's O(k·Δ·|E|) plist bookkeeping.
+//
+// Deprecated: use Place with StrategyGreedyAll, which adds cancellation,
+// oracle accounting and a parallel inner loop behind the same semantics.
 func GreedyAll(ev flow.Evaluator, k int) []int {
 	chosen, _ := GreedyAllCtx(context.Background(), ev, k)
 	return chosen
 }
 
 // GreedyAllCtx is GreedyAll with a cancellation check between greedy
-// rounds, for callers (like the fpd job engine) that must abort long
-// placements promptly. It returns ctx.Err() when canceled.
+// rounds. It returns ctx.Err() when canceled.
+//
+// Deprecated: use Place with StrategyGreedyAll.
 func GreedyAllCtx(ctx context.Context, ev flow.Evaluator, k int) ([]int, error) {
-	n := ev.Model().N()
-	filters := make([]bool, n)
-	chosen := make([]int, 0, k)
-	for len(chosen) < k {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		v, gain := ev.ArgmaxImpact(filters, filters)
-		if v < 0 || gain <= 0 {
-			break // no further filter reduces multiplicity
-		}
-		filters[v] = true
-		chosen = append(chosen, v)
+	res, err := Place(ctx, ev, k, Options{Strategy: StrategyGreedyAll})
+	if err != nil {
+		return nil, err
 	}
-	return chosen, nil
+	return res.Filters, nil
 }
 
 // OracleStats counts objective-function work done by an algorithm, used by
-// the CELF ablation experiment.
+// the CELF ablation experiment and surfaced per-job by the fpd service.
 type OracleStats struct {
 	// GainEvaluations counts single-node marginal-gain computations.
-	GainEvaluations int
+	GainEvaluations int `json:"gain_evaluations"`
 	// Iterations counts greedy rounds completed.
-	Iterations int
+	Iterations int `json:"iterations"`
 }
 
 // GreedyAllNaive is Greedy_All at the paper's cost profile: in every round
@@ -66,35 +67,11 @@ type OracleStats struct {
 // describes. It returns the same filter set as GreedyAll and reports how
 // many gain evaluations it spent; it exists as the baseline for the CELF
 // ablation.
+//
+// Deprecated: use Place with StrategyNaive.
 func GreedyAllNaive(ev flow.Evaluator, k int) ([]int, OracleStats) {
-	n := ev.Model().N()
-	m := ev.Model()
-	filters := make([]bool, n)
-	chosen := make([]int, 0, k)
-	var st OracleStats
-	for len(chosen) < k {
-		base := ev.Phi(filters)
-		best, bestGain := -1, 0.0
-		for v := 0; v < n; v++ {
-			if filters[v] || m.IsSource(v) {
-				continue
-			}
-			filters[v] = true
-			gain := base - ev.Phi(filters)
-			filters[v] = false
-			st.GainEvaluations++
-			if gain > bestGain {
-				best, bestGain = v, gain
-			}
-		}
-		if best < 0 {
-			break
-		}
-		filters[best] = true
-		chosen = append(chosen, best)
-		st.Iterations++
-	}
-	return chosen, st
+	res, _ := Place(context.Background(), ev, k, Options{Strategy: StrategyNaive})
+	return res.Filters, res.Stats
 }
 
 // GreedyAllCELF is the lazy-evaluation variant of GreedyAllNaive
@@ -103,6 +80,8 @@ func GreedyAllNaive(ev flow.Evaluator, k int) ([]int, OracleStats) {
 // filter set grows, so stale upper bounds can defer most re-evaluations.
 // It returns the same filter set as GreedyAll, typically with far fewer
 // gain evaluations than GreedyAllNaive.
+//
+// Deprecated: use Place with StrategyCELF.
 func GreedyAllCELF(ev flow.Evaluator, k int) ([]int, OracleStats) {
 	chosen, st, _ := GreedyAllCELFCtx(context.Background(), ev, k)
 	return chosen, st
@@ -110,102 +89,21 @@ func GreedyAllCELF(ev flow.Evaluator, k int) ([]int, OracleStats) {
 
 // GreedyAllCELFCtx is GreedyAllCELF with a cancellation check on every
 // heap pop, returning ctx.Err() when canceled.
+//
+// Deprecated: use Place with StrategyCELF.
 func GreedyAllCELFCtx(ctx context.Context, ev flow.Evaluator, k int) ([]int, OracleStats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, OracleStats{}, err
+	res, err := Place(ctx, ev, k, Options{Strategy: StrategyCELF})
+	if err != nil {
+		return nil, res.Stats, err
 	}
-	n := ev.Model().N()
-	m := ev.Model()
-	filters := make([]bool, n)
-	chosen := make([]int, 0, k)
-	var st OracleStats
-
-	// Max-heap of (gain upper bound, node, round stamp); ties toward the
-	// smaller node id so results match GreedyAll exactly.
-	type entry struct {
-		gain  float64
-		v     int
-		stamp int
-	}
-	less := func(a, b entry) bool { // is a lower priority than b?
-		if a.gain != b.gain {
-			return a.gain < b.gain
-		}
-		return a.v > b.v
-	}
-	heap := make([]entry, 0, n)
-	pushHeap := func(e entry) {
-		heap = append(heap, e)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if !less(heap[p], heap[i]) {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	popHeap := func() entry {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l, r, big := 2*i+1, 2*i+2, i
-			if l < len(heap) && less(heap[big], heap[l]) {
-				big = l
-			}
-			if r < len(heap) && less(heap[big], heap[r]) {
-				big = r
-			}
-			if big == i {
-				break
-			}
-			heap[i], heap[big] = heap[big], heap[i]
-			i = big
-		}
-		return top
-	}
-
-	gains := ev.Impacts(filters) // initial exact gains, batch computed
-	st.GainEvaluations += n
-	for v := 0; v < n; v++ {
-		if !m.IsSource(v) && gains[v] > 0 {
-			pushHeap(entry{gains[v], v, 0})
-		}
-	}
-	round := 0
-	for len(chosen) < k && len(heap) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, st, err
-		}
-		top := popHeap()
-		if top.stamp == round {
-			// Fresh: by submodularity no other node can beat it.
-			filters[top.v] = true
-			chosen = append(chosen, top.v)
-			round++
-			st.Iterations++
-			continue
-		}
-		// Stale: recompute this node's gain only.
-		base := ev.Phi(filters)
-		filters[top.v] = true
-		gain := base - ev.Phi(filters)
-		filters[top.v] = false
-		st.GainEvaluations++
-		if gain > 0 {
-			pushHeap(entry{gain, top.v, round})
-		}
-	}
-	return chosen, st, nil
+	return res.Filters, res.Stats, nil
 }
 
 // GreedyMax is the paper's Greedy_Max heuristic: compute every node's
 // impact once in the empty-filter state and keep the k largest, with no
 // recomputation. Runs in O(|E| + n log n).
+//
+// Deprecated: use Place with StrategyGreedyMax.
 func GreedyMax(ev flow.Evaluator, k int) []int {
 	gains := ev.Impacts(nil)
 	return topK(gains, k)
@@ -214,6 +112,8 @@ func GreedyMax(ev flow.Evaluator, k int) []int {
 // Greedy1 is the paper's Greedy_1 heuristic: rank nodes by the local
 // redundancy lower bound m(v) = din(v)·dout(v) and keep the k largest.
 // Runs in O(|E| + n log n).
+//
+// Deprecated: use Place with StrategyGreedy1.
 func Greedy1(g *graph.Digraph, k int) []int {
 	m := make([]float64, g.N())
 	for v := range m {
@@ -226,6 +126,8 @@ func Greedy1(g *graph.Digraph, k int) []int {
 // the simplified impact I′(v) = Prefix(v)·dout(v) under the current filter
 // set — the number of copies v pushes to its immediate children — and place
 // a filter at the maximizer. Runs in O(k·|E|).
+//
+// Deprecated: use Place with StrategyGreedyL.
 func GreedyL(ev flow.Evaluator, k int) []int {
 	m := ev.Model()
 	g := m.Graph()

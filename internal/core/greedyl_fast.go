@@ -14,6 +14,8 @@ import (
 // the affected cone rather than |E|. Weighted models fall back to the
 // plain implementation (their emissions scale by per-edge probabilities,
 // which the incremental pass does not track).
+//
+// Deprecated: use Place with StrategyGreedyLFast.
 func GreedyLFast(ev flow.Evaluator, k int) []int {
 	m := ev.Model()
 	if m.Weighted() {

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// Strategy names a placement algorithm accepted by Place.
+type Strategy string
+
+const (
+	// StrategyGreedyAll is the paper's Greedy_All via the closed-form
+	// marginal gain: one forward + one backward pass per round. With
+	// Parallelism > 1 on a flow.ParallelEvaluator the passes shard by
+	// topological level.
+	StrategyGreedyAll Strategy = "greedy-all"
+	// StrategyCELF is Greedy_All at the paper's per-candidate cost profile
+	// with CELF lazy evaluation; stale heap entries re-evaluate in
+	// round-stamped batches across cloned evaluators.
+	StrategyCELF Strategy = "celf"
+	// StrategyNaive is Greedy_All at the paper's cost profile with no
+	// laziness: every candidate re-evaluates every round. Candidates shard
+	// across cloned evaluators.
+	StrategyNaive Strategy = "naive"
+	// StrategyGreedyMax is the paper's Greedy_Max (impacts once, top k).
+	StrategyGreedyMax Strategy = "greedy-max"
+	// StrategyGreedy1 is the paper's Greedy_1 (rank by din·dout).
+	StrategyGreedy1 Strategy = "greedy-1"
+	// StrategyGreedyL is the paper's Greedy_L.
+	StrategyGreedyL Strategy = "greedy-l"
+	// StrategyGreedyLFast is Greedy_L with incremental prefix maintenance;
+	// identical output to StrategyGreedyL.
+	StrategyGreedyLFast Strategy = "greedy-l-fast"
+	// StrategyRandK, StrategyRandI and StrategyRandW are the paper's
+	// randomized baselines.
+	StrategyRandK Strategy = "rand-k"
+	StrategyRandI Strategy = "rand-i"
+	StrategyRandW Strategy = "rand-w"
+	// StrategyProp1 is Proposition 1's unbounded-budget optimal set; the
+	// budget k is ignored.
+	StrategyProp1 Strategy = "prop1"
+)
+
+// Strategies lists every strategy Place accepts, in documentation order.
+func Strategies() []Strategy {
+	return []Strategy{
+		StrategyGreedyAll, StrategyCELF, StrategyNaive,
+		StrategyGreedyMax, StrategyGreedy1, StrategyGreedyL, StrategyGreedyLFast,
+		StrategyRandK, StrategyRandI, StrategyRandW, StrategyProp1,
+	}
+}
+
+// Options configures Place. The zero value runs serial greedy-all.
+type Options struct {
+	// Strategy selects the algorithm; empty means StrategyGreedyAll.
+	Strategy Strategy
+	// Parallelism bounds the worker goroutines evaluating marginal gains
+	// within one greedy round; values ≤ 1 run serially. Results are
+	// bit-for-bit identical to the serial path at any setting: candidate
+	// work is sharded deterministically and reduced with the serial
+	// tie-breaking order. Parallel execution needs the evaluator to
+	// implement flow.Cloner (candidate sharding) or flow.ParallelEvaluator
+	// (level-parallel passes); otherwise the strategy silently runs
+	// serially and Result.Parallelism reports 1.
+	Parallelism int
+	// Seed drives the randomized baselines (ignored elsewhere).
+	Seed int64
+	// Rand, when non-nil, overrides Seed with an existing stream —
+	// experiment harnesses average baselines over a shared rng.
+	Rand *rand.Rand
+}
+
+// Result is a placement outcome.
+type Result struct {
+	// Filters lists the placed nodes in the order chosen (greedy
+	// strategies) or ascending order (set-valued strategies); it may be
+	// shorter than k when further filters cannot improve the objective.
+	Filters []int
+	// Stats counts the objective-function work done. For a given
+	// strategy it is identical at every Parallelism setting.
+	Stats OracleStats
+	// Strategy echoes the algorithm that ran.
+	Strategy Strategy
+	// Parallelism is the worker count actually used (1 when the
+	// evaluator cannot parallelize or the strategy is inherently serial).
+	Parallelism int
+}
+
+// Place is the unified placement engine: every algorithm of the paper (and
+// the CELF/naive ablation profiles) behind one entry point with shared
+// context plumbing, oracle accounting and an optional parallel inner loop.
+// It returns ctx.Err() when canceled mid-placement; any goroutines it
+// spawned are joined before it returns, and the returned Result carries
+// no filters but does report the oracle work done up to the abort.
+func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = StrategyGreedyAll
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	res := Result{Strategy: opts.Strategy, Parallelism: 1}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	var err error
+	switch opts.Strategy {
+	case StrategyGreedyAll:
+		err = placeGreedyAll(ctx, ev, k, opts, &res)
+	case StrategyCELF:
+		err = placeCELF(ctx, ev, k, opts, &res)
+	case StrategyNaive:
+		err = placeNaive(ctx, ev, k, opts, &res)
+	case StrategyGreedyMax:
+		n := ev.Model().N()
+		res.Filters = topK(impactsOf(ev, nil, opts.Parallelism, &res), k)
+		res.Stats.GainEvaluations += n
+	case StrategyGreedy1:
+		res.Filters = Greedy1(ev.Model().Graph(), k)
+	case StrategyGreedyL:
+		res.Filters = GreedyL(ev, k)
+	case StrategyGreedyLFast:
+		res.Filters = GreedyLFast(ev, k)
+	case StrategyRandK:
+		res.Filters = RandK(ev.Model(), k, opts.rng())
+	case StrategyRandI:
+		res.Filters = RandI(ev.Model(), k, opts.rng())
+	case StrategyRandW:
+		res.Filters = RandW(ev.Model(), k, opts.rng())
+	case StrategyProp1:
+		res.Filters = UnboundedOptimal(ev.Model().Graph())
+	default:
+		return Result{}, fmt.Errorf("core: unknown strategy %q (have %v)", opts.Strategy, Strategies())
+	}
+	if err != nil {
+		res.Filters = nil // partial placements are not usable results
+		return res, err
+	}
+	return res, nil
+}
+
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed))
+}
+
+// impactsOf computes all marginal gains, through the level-parallel pass
+// when available, recording the effective parallelism.
+func impactsOf(ev flow.Evaluator, filters []bool, procs int, res *Result) []float64 {
+	if procs > 1 {
+		if pe, ok := ev.(flow.ParallelEvaluator); ok {
+			res.Parallelism = procs
+			return pe.ImpactsP(filters, procs)
+		}
+	}
+	return ev.Impacts(filters)
+}
+
+// placeGreedyAll runs the closed-form greedy: per round one forward and
+// one backward pass yield every candidate's exact gain.
+func placeGreedyAll(ctx context.Context, ev flow.Evaluator, k int, opts Options, res *Result) error {
+	n := ev.Model().N()
+	pe, canPar := ev.(flow.ParallelEvaluator)
+	procs := opts.Parallelism
+	if procs > 1 && canPar {
+		res.Parallelism = procs
+	} else {
+		procs = 1
+	}
+	filters := make([]bool, n)
+	chosen := make([]int, 0, k)
+	for len(chosen) < k {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var v int
+		var gain float64
+		if procs > 1 {
+			v, gain = pe.ArgmaxImpactP(filters, filters, procs)
+		} else {
+			v, gain = ev.ArgmaxImpact(filters, filters)
+		}
+		res.Stats.GainEvaluations += n
+		if v < 0 || gain <= 0 {
+			break // no further filter reduces multiplicity
+		}
+		filters[v] = true
+		chosen = append(chosen, v)
+		res.Stats.Iterations++
+	}
+	res.Filters = chosen
+	return nil
+}
+
+// evalPool shards per-candidate exact gain evaluations Φ(A) − Φ(A∪{v})
+// across cloned evaluators. Gains are bit-for-bit those of the serial
+// loop: every candidate is evaluated by the same arithmetic against the
+// same base, just on a clone's private scratch state.
+type evalPool struct {
+	root   flow.Evaluator
+	clones []flow.Evaluator
+	masks  [][]bool
+}
+
+func newEvalPool(ev flow.Evaluator, procs int) *evalPool {
+	p := &evalPool{root: ev}
+	c, ok := ev.(flow.Cloner)
+	if !ok || procs <= 1 {
+		return p
+	}
+	n := ev.Model().N()
+	for i := 0; i < procs; i++ {
+		p.clones = append(p.clones, c.Clone())
+		p.masks = append(p.masks, make([]bool, n))
+	}
+	return p
+}
+
+// width is the worker count gains can use.
+func (p *evalPool) width() int {
+	return max(len(p.clones), 1)
+}
+
+// gains returns gain[i] = Φ(A) − Φ(A ∪ {cands[i]}) for the current filter
+// mask. The mask is only toggled one candidate at a time and restored, on
+// the caller's slice when serial and on private copies when parallel.
+// On cancellation it returns ctx.Err() after joining every worker.
+func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]float64, error) {
+	out := make([]float64, len(cands))
+	if len(cands) == 0 {
+		return out, nil
+	}
+	base := p.root.Phi(filters)
+	if len(p.clones) == 0 {
+		for i, v := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			filters[v] = true
+			out[i] = base - p.root.Phi(filters)
+			filters[v] = false
+		}
+		return out, nil
+	}
+	procs := min(len(p.clones), len(cands))
+	chunk := (len(cands) + procs - 1) / procs
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(cands))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ev, mask := p.clones[w], p.masks[w]
+			copy(mask, filters)
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				v := cands[i]
+				mask[v] = true
+				out[i] = base - ev.Phi(mask)
+				mask[v] = false
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// placeNaive is the paper's cost profile: every round re-evaluates every
+// candidate, sharded across the pool.
+func placeNaive(ctx context.Context, ev flow.Evaluator, k int, opts Options, res *Result) error {
+	m := ev.Model()
+	n := m.N()
+	pool := newEvalPool(ev, opts.Parallelism)
+	res.Parallelism = pool.width()
+	filters := make([]bool, n)
+	chosen := make([]int, 0, k)
+	cands := make([]int, 0, n)
+	for len(chosen) < k {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cands = cands[:0]
+		for v := 0; v < n; v++ {
+			if !filters[v] && !m.IsSource(v) {
+				cands = append(cands, v)
+			}
+		}
+		gains, err := pool.gains(ctx, filters, cands)
+		if err != nil {
+			return err
+		}
+		res.Stats.GainEvaluations += len(cands)
+		best, bestGain := -1, 0.0
+		for i, v := range cands {
+			if gains[i] > bestGain {
+				best, bestGain = v, gains[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		filters[best] = true
+		chosen = append(chosen, best)
+		res.Stats.Iterations++
+	}
+	res.Filters = chosen
+	return nil
+}
+
+// celfEntry is a lazy-greedy heap entry: a gain upper bound for node v,
+// valid as of greedy round stamp.
+type celfEntry struct {
+	gain  float64
+	v     int
+	stamp int
+}
+
+// celfLess orders entries by priority: larger gain first, ties toward the
+// smaller node id (so results match greedy-all exactly).
+func celfLess(a, b celfEntry) bool { // is a lower priority than b?
+	if a.gain != b.gain {
+		return a.gain < b.gain
+	}
+	return a.v > b.v
+}
+
+// celfHeap is a max-heap of celfEntry under celfLess.
+type celfHeap []celfEntry
+
+func (h *celfHeap) push(e celfEntry) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !celfLess(a[p], a[i]) {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *celfHeap) pop() celfEntry {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < len(a) && celfLess(a[big], a[l]) {
+			big = l
+		}
+		if r < len(a) && celfLess(a[big], a[r]) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		a[i], a[big] = a[big], a[i]
+		i = big
+	}
+	return top
+}
+
+// placeCELF is lazy greedy (Leskovec et al.'s CELF applied to filter
+// placement). Submodularity guarantees a node's gain never increases as
+// the filter set grows, so stale upper bounds defer most re-evaluations.
+//
+// Parallel mode pops stale entries in batches of up to Parallelism,
+// evaluates their exact gains concurrently on cloned evaluators, then
+// replays the serial commit order against the precomputed values: an
+// evaluation is committed (counted, re-stamped with the current round)
+// only up to the point where the serial loop would have found a fresh
+// entry on top of the heap; speculative evaluations beyond that point are
+// discarded and their entries pushed back untouched. The heap therefore
+// evolves exactly as in the serial run — filter set AND OracleStats are
+// bit-for-bit identical at every Parallelism setting.
+func placeCELF(ctx context.Context, ev flow.Evaluator, k int, opts Options, res *Result) error {
+	m := ev.Model()
+	n := m.N()
+	pool := newEvalPool(ev, opts.Parallelism)
+	res.Parallelism = pool.width()
+	filters := make([]bool, n)
+	chosen := make([]int, 0, k)
+	st := &res.Stats
+
+	gains := impactsOf(ev, filters, opts.Parallelism, res) // initial exact gains, batch computed
+	st.GainEvaluations += n
+	var h celfHeap
+	for v := 0; v < n; v++ {
+		if !m.IsSource(v) && gains[v] > 0 {
+			h.push(celfEntry{gains[v], v, 0})
+		}
+	}
+
+	round := 0
+	batch := make([]celfEntry, 0, pool.width())
+	nodes := make([]int, 0, pool.width())
+	for len(chosen) < k && len(h) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if h[0].stamp == round {
+			// Fresh: by submodularity no other node can beat it.
+			top := h.pop()
+			filters[top.v] = true
+			chosen = append(chosen, top.v)
+			round++
+			st.Iterations++
+			continue
+		}
+		// Stale top: pop the next batch of stale entries in heap order
+		// (descending priority) and prefetch their exact gains.
+		batch, nodes = batch[:0], nodes[:0]
+		for len(h) > 0 && h[0].stamp != round && len(batch) < pool.width() {
+			e := h.pop()
+			batch = append(batch, e)
+			nodes = append(nodes, e.v)
+		}
+		prefetched, err := pool.gains(ctx, filters, nodes)
+		if err != nil {
+			return err
+		}
+		// Replay the serial commit order: the serial loop evaluates stale
+		// tops one at a time and stops as soon as the heap top is fresh —
+		// i.e. as soon as the best re-evaluated gain outranks the next
+		// stale bound. Entries past that point stay stale and uncounted.
+		for i := range batch {
+			st.GainEvaluations++
+			if g := prefetched[i]; g > 0 {
+				h.push(celfEntry{g, batch[i].v, round})
+			}
+			if i+1 < len(batch) && len(h) > 0 && h[0].stamp == round && celfLess(batch[i+1], h[0]) {
+				for _, rest := range batch[i+1:] {
+					h.push(rest) // untouched: stale bound, old stamp
+				}
+				break
+			}
+		}
+	}
+	res.Filters = chosen
+	return nil
+}

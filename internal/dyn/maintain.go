@@ -15,8 +15,8 @@ type Options struct {
 	K int
 	// MaxDrift is the fraction of the graph's propagation state that may be
 	// recomputed across batches before Maintain abandons incremental repair
-	// and falls back to a from-scratch GreedyAllCtx run. The unit is
-	// dirty-cone node visits per graph node; default 0.5.
+	// and falls back to a from-scratch core.Place greedy-all run. The unit
+	// is dirty-cone node visits per graph node; default 0.5.
 	MaxDrift float64
 	// SwapLimit bounds the filter-swap rounds of one incremental repair;
 	// default 4.
@@ -24,6 +24,10 @@ type Options struct {
 	// MinGainFrac is the relative objective improvement below which repair
 	// stops; default 1e-9.
 	MinGainFrac float64
+	// Parallelism bounds the worker goroutines of the Greedy_All runs (the
+	// initial placement and the drift fallback); ≤ 1 is serial. Placements
+	// are bit-for-bit identical at any setting (see core.Place).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -274,11 +278,14 @@ func (mt *Maintainer) recompute(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	chosen, err := core.GreedyAllCtx(ctx, flow.NewFloat(m), mt.opts.K)
+	res, err := core.Place(ctx, flow.NewFloat(m), mt.opts.K, core.Options{
+		Strategy:    core.StrategyGreedyAll,
+		Parallelism: mt.opts.Parallelism,
+	})
 	if err != nil {
 		return err
 	}
-	mt.cur = flow.NewIncremental(mt.d, mt.d.Sources(), chosen)
+	mt.cur = flow.NewIncremental(mt.d, mt.d.Sources(), res.Filters)
 	mt.lastStats = mt.cur.Stats()
 	return nil
 }

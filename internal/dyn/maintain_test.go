@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -263,5 +264,32 @@ func TestMaintainSetK(t *testing.T) {
 	}
 	if rep.Strategy != StrategyRecompute {
 		t.Fatalf("strategy = %q, want recompute when the budget shrinks", rep.Strategy)
+	}
+}
+
+// TestMaintainParallelismDeterministic checks that the initial placement
+// and recompute fallback with parallel Greedy_All produce exactly the
+// serial placement.
+func TestMaintainParallelismDeterministic(t *testing.T) {
+	build := func(par int) []int {
+		g, root := gen.QuoteLike(3)
+		d, err := FromDigraph(g, []int{root})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := NewMaintainer(d, Options{K: 6, Parallelism: par}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mt.Maintain(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Filters
+	}
+	serial := build(1)
+	parallel := build(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel maintainer placed %v, serial %v", parallel, serial)
 	}
 }

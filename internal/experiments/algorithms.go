@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -31,44 +32,77 @@ type Algorithm struct {
 	Incremental bool
 }
 
+// place adapts core.Place to the Algorithm closure shape, discarding the
+// error: the background context never cancels and every strategy name is
+// valid by construction.
+func place(ev flow.Evaluator, strat core.Strategy, k, parallelism int, rng *rand.Rand) []int {
+	res, _ := core.Place(context.Background(), ev, k, core.Options{
+		Strategy:    strat,
+		Parallelism: parallelism,
+		Rand:        rng,
+	})
+	return res.Filters
+}
+
 // StandardAlgorithms returns the paper's seven algorithms in legend order.
-func StandardAlgorithms() []Algorithm {
+// The optional argument is the core.Place parallelism for the greedy
+// strategies (results are identical at any setting; it only changes how
+// many goroutines evaluate marginal gains).
+func StandardAlgorithms(parallelism ...int) []Algorithm {
+	par := 1
+	if len(parallelism) > 0 {
+		par = parallelism[0]
+	}
 	return []Algorithm{
 		{
-			Name:        "G_ALL",
-			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyAll(ev, k) },
+			Name: "G_ALL",
+			Place: func(ev flow.Evaluator, k int, _ *rand.Rand) []int {
+				return place(ev, core.StrategyGreedyAll, k, par, nil)
+			},
 			Incremental: true,
 		},
 		{
-			Name:        "G_Max",
-			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyMax(ev, k) },
+			Name: "G_Max",
+			Place: func(ev flow.Evaluator, k int, _ *rand.Rand) []int {
+				return place(ev, core.StrategyGreedyMax, k, par, nil)
+			},
 			Incremental: true,
 		},
 		{
-			Name:        "G_1",
-			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.Greedy1(ev.Model().Graph(), k) },
+			Name: "G_1",
+			Place: func(ev flow.Evaluator, k int, _ *rand.Rand) []int {
+				return place(ev, core.StrategyGreedy1, k, 1, nil)
+			},
 			Incremental: true,
 		},
 		{
-			// GreedyLFast implements the paper's "clever bookkeeping"
+			// greedy-l-fast implements the paper's "clever bookkeeping"
 			// remark; output is identical to plain Greedy_L.
-			Name:        "G_L",
-			Place:       func(ev flow.Evaluator, k int, _ *rand.Rand) []int { return core.GreedyLFast(ev, k) },
+			Name: "G_L",
+			Place: func(ev flow.Evaluator, k int, _ *rand.Rand) []int {
+				return place(ev, core.StrategyGreedyLFast, k, 1, nil)
+			},
 			Incremental: true,
 		},
 		{
-			Name:       "Rand_W",
-			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandW(ev.Model(), k, rng) },
+			Name: "Rand_W",
+			Place: func(ev flow.Evaluator, k int, rng *rand.Rand) []int {
+				return place(ev, core.StrategyRandW, k, 1, rng)
+			},
 			Randomized: true,
 		},
 		{
-			Name:       "Rand_I",
-			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandI(ev.Model(), k, rng) },
+			Name: "Rand_I",
+			Place: func(ev flow.Evaluator, k int, rng *rand.Rand) []int {
+				return place(ev, core.StrategyRandI, k, 1, rng)
+			},
 			Randomized: true,
 		},
 		{
-			Name:       "Rand_K",
-			Place:      func(ev flow.Evaluator, k int, rng *rand.Rand) []int { return core.RandK(ev.Model(), k, rng) },
+			Name: "Rand_K",
+			Place: func(ev flow.Evaluator, k int, rng *rand.Rand) []int {
+				return place(ev, core.StrategyRandK, k, 1, rng)
+			},
 			Randomized: true,
 		},
 	}
@@ -76,8 +110,8 @@ func StandardAlgorithms() []Algorithm {
 
 // GreedyAlgorithms returns only the four deterministic algorithms, the set
 // the paper times in Figure 11.
-func GreedyAlgorithms() []Algorithm {
-	all := StandardAlgorithms()
+func GreedyAlgorithms(parallelism ...int) []Algorithm {
+	all := StandardAlgorithms(parallelism...)
 	var out []Algorithm
 	for _, a := range all {
 		if !a.Randomized {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -131,7 +132,7 @@ func layeredFR(id, title string, x float64, opt Options) (*Report, error) {
 	}
 	g, src := gen.Layered(10, perLevel, x, 4, opt.Seed)
 	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
-	res := FRCurves(ev, fmt.Sprintf("layered x=%g/4", x), Ks(maxK, step), StandardAlgorithms(), opt.Reps, opt.Seed)
+	res := FRCurves(ev, fmt.Sprintf("layered x=%g/4", x), Ks(maxK, step), StandardAlgorithms(opt.Parallelism), opt.Reps, opt.Seed)
 	return reportFromFR(id, title, res), nil
 }
 
@@ -171,7 +172,7 @@ func Fig6(opt Options) (*Report, error) {
 func Fig7(opt Options) (*Report, error) {
 	g, src := gen.QuoteLike(opt.Seed)
 	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
-	res := FRCurves(ev, "QuoteLike (G_Phrase)", Ks(10, 1), StandardAlgorithms(), opt.Reps, opt.Seed)
+	res := FRCurves(ev, "QuoteLike (G_Phrase)", Ks(10, 1), StandardAlgorithms(opt.Parallelism), opt.Reps, opt.Seed)
 	rep := reportFromFR("fig7", "FR for G_Phrase on the Quote dataset", res)
 	if p, ok := res.At("G_ALL", 4); ok {
 		rep.Note("G_ALL at k=4: FR = %.4f (paper: perfect filtering with four filters)", p.FR)
@@ -189,7 +190,7 @@ func Fig8(opt Options) (*Report, error) {
 	}
 	g, root := gen.TwitterLike(scale, opt.Seed)
 	ev := flow.NewFloat(flow.MustModel(g, []int{root}))
-	res := FRCurves(ev, "TwitterLike", Ks(10, 1), StandardAlgorithms(), opt.Reps, opt.Seed)
+	res := FRCurves(ev, "TwitterLike", Ks(10, 1), StandardAlgorithms(opt.Parallelism), opt.Reps, opt.Seed)
 	rep := reportFromFR("fig8", "FR for the Twitter graph", res)
 	if p, ok := res.At("G_ALL", 6); ok {
 		rep.Note("G_ALL at k=6: FR = %.4f (paper: all redundancy removed with six filters)", p.FR)
@@ -203,7 +204,7 @@ func Fig8(opt Options) (*Report, error) {
 func Fig9(opt Options) (*Report, error) {
 	g, src := gen.CitationLike(opt.Seed)
 	ev := flow.NewFloat(flow.MustModel(g, []int{src}))
-	res := FRCurves(ev, "CitationLike (G_Citation)", Ks(10, 1), StandardAlgorithms(), opt.Reps, opt.Seed)
+	res := FRCurves(ev, "CitationLike (G_Citation)", Ks(10, 1), StandardAlgorithms(opt.Parallelism), opt.Reps, opt.Seed)
 	rep := reportFromFR("fig9", "FR for G_Citation in the APS dataset", res)
 	if a, ok := res.Final("G_ALL"); ok {
 		if m, ok2 := res.Final("G_Max"); ok2 {
@@ -235,7 +236,7 @@ func Fig10(opt Options) (*Report, error) {
 	for i, c := range chain {
 		rep.AddRow(fmt.Sprintf("chain[%d]", i), imp[c], impG[c])
 	}
-	res := FRCurves(ev, "motif", Ks(10, 1), GreedyAlgorithms(), opt.Reps, opt.Seed)
+	res := FRCurves(ev, "motif", Ks(10, 1), GreedyAlgorithms(opt.Parallelism), opt.Reps, opt.Seed)
 	if a, _ := res.At("G_ALL", 1); true {
 		if m, _ := res.At("G_Max", 10); true {
 			rep.Note("G_ALL reaches FR = %.4f at k=1; G_Max after 10 picks: FR = %.4f (flat plateau: its top-10 are the chain)", a.FR, m.FR)
@@ -261,7 +262,7 @@ func Fig11(opt Options) (*Report, error) {
 		Dataset: fmt.Sprintf("TwitterLike(scale=%g): %d nodes, %d edges", scale, g.N(), g.M()),
 	}
 	rep.Header = []string{"algorithm", "seconds", "FR at k=10"}
-	for _, algo := range GreedyAlgorithms() {
+	for _, algo := range GreedyAlgorithms(opt.Parallelism) {
 		start := time.Now()
 		nodes := algo.Place(ev, 10, nil)
 		secs := time.Since(start).Seconds()
@@ -317,21 +318,22 @@ func AblationCELF(opt Options) (*Report, error) {
 	}
 	rep.Header = []string{"variant", "gain evals", "seconds", "same filter set"}
 
+	ctx := context.Background()
 	start := time.Now()
-	ref := core.GreedyAll(ev, k)
+	ref, _ := core.Place(ctx, ev, k, core.Options{Strategy: core.StrategyGreedyAll, Parallelism: opt.Parallelism})
 	closedSecs := time.Since(start).Seconds()
 	rep.AddRow("closed-form (ours)", "n per round (batched)", fmt.Sprintf("%.4f", closedSecs), true)
 
 	start = time.Now()
-	naive, stNaive := core.GreedyAllNaive(ev, k)
-	rep.AddRow("naive (paper's profile)", stNaive.GainEvaluations, fmt.Sprintf("%.4f", time.Since(start).Seconds()), equalInts(ref, naive))
+	naive, _ := core.Place(ctx, ev, k, core.Options{Strategy: core.StrategyNaive, Parallelism: opt.Parallelism})
+	rep.AddRow("naive (paper's profile)", naive.Stats.GainEvaluations, fmt.Sprintf("%.4f", time.Since(start).Seconds()), equalInts(ref.Filters, naive.Filters))
 
 	start = time.Now()
-	celf, stCELF := core.GreedyAllCELF(ev, k)
-	rep.AddRow("CELF (lazy)", stCELF.GainEvaluations, fmt.Sprintf("%.4f", time.Since(start).Seconds()), equalInts(ref, celf))
+	celf, _ := core.Place(ctx, ev, k, core.Options{Strategy: core.StrategyCELF, Parallelism: opt.Parallelism})
+	rep.AddRow("CELF (lazy)", celf.Stats.GainEvaluations, fmt.Sprintf("%.4f", time.Since(start).Seconds()), equalInts(ref.Filters, celf.Filters))
 
-	if stNaive.GainEvaluations > 0 {
-		rep.Note("CELF evaluated %.1f%% of the naive variant's gains", 100*float64(stCELF.GainEvaluations)/float64(stNaive.GainEvaluations))
+	if naive.Stats.GainEvaluations > 0 {
+		rep.Note("CELF evaluated %.1f%% of the naive variant's gains", 100*float64(celf.Stats.GainEvaluations)/float64(naive.Stats.GainEvaluations))
 	}
 	return rep, nil
 }

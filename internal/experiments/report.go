@@ -152,6 +152,10 @@ type Options struct {
 	// Quick shrinks datasets and repetition counts so the whole suite
 	// runs in seconds; used by unit tests. Benchmarks run full size.
 	Quick bool
+	// Parallelism is the core.Place worker bound used by the greedy
+	// algorithms (fpexp -procs); ≤ 1 is serial. Series are bit-for-bit
+	// identical at any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

@@ -33,6 +33,15 @@ func NewBig(m *Model) *BigEngine {
 // Model implements Evaluator.
 func (e *BigEngine) Model() *Model { return e.m }
 
+// Clone implements Cloner. A BigEngine allocates per call and never
+// mutates its cached invariants, so the clone shares them; the method
+// exists so big-engine placements can join the same parallel candidate
+// sharding as float ones.
+func (e *BigEngine) Clone() Evaluator {
+	c := *e
+	return &c
+}
+
 var bigOne = big.NewInt(1)
 
 // forwardBig computes rec and emit exactly. Entries of emit may alias

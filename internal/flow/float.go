@@ -10,7 +10,9 @@ import "fmt"
 //
 // The hot paths (Phi, F, ArgmaxImpact — the inner loop of Greedy_All) reuse
 // internal scratch buffers, so a FloatEngine is not safe for concurrent
-// use; build one engine per goroutine. Methods returning slices (Received,
+// use. Concurrent callers — the parallel candidate sharding in core.Place —
+// call Clone, which shares the immutable Model and caches but gives each
+// goroutine its own scratch state. Methods returning slices (Received,
 // Suffix, Impacts) always return freshly allocated results.
 type FloatEngine struct {
 	m *Model
@@ -18,6 +20,9 @@ type FloatEngine struct {
 	// the model.
 	phiEmpty float64
 	maxF     float64
+	// lv caches the topological level decomposition driving the parallel
+	// passes; immutable once built, shared by clones.
+	lv *passLevels
 	// scratch buffers for the zero-allocation hot paths.
 	scratchRec  []float64
 	scratchEmit []float64
@@ -34,6 +39,14 @@ func NewFloat(m *Model) *FloatEngine {
 
 // Model implements Evaluator.
 func (e *FloatEngine) Model() *Model { return e.m }
+
+// Clone implements Cloner: the returned engine shares the immutable Model
+// and the cached Φ(∅,V)/F(V) invariants but owns fresh scratch buffers, so
+// it may be used from another goroutine concurrently with the receiver.
+// Cloning is O(1); scratch allocates lazily on first use.
+func (e *FloatEngine) Clone() Evaluator {
+	return &FloatEngine{m: e.m, phiEmpty: e.phiEmpty, maxF: e.maxF, lv: e.lv}
+}
 
 func (e *FloatEngine) weight(u, v int) float64 {
 	if e.m.weight == nil {
@@ -57,21 +70,27 @@ func (e *FloatEngine) forward(filters []bool) (rec, emit []float64) {
 
 // forwardInto runs the forward pass into caller-provided buffers.
 func (e *FloatEngine) forwardInto(filters []bool, rec, emit []float64) {
-	g := e.m.g
 	for _, v := range e.m.topo {
-		r := 0.0
-		for _, p := range g.In(v) {
-			r += e.weight(p, v) * emit[p]
-		}
-		rec[v] = r
-		switch {
-		case e.m.isSrc[v]:
-			emit[v] = 1
-		case filters != nil && filters[v] && r > 1:
-			emit[v] = 1
-		default:
-			emit[v] = r
-		}
+		e.stepForward(v, filters, rec, emit)
+	}
+}
+
+// stepForward computes rec and emit at one node from its in-neighbors. It
+// is the single per-node kernel shared by the serial and level-parallel
+// passes, so both produce bit-identical floats.
+func (e *FloatEngine) stepForward(v int, filters []bool, rec, emit []float64) {
+	r := 0.0
+	for _, p := range e.m.g.In(v) {
+		r += e.weight(p, v) * emit[p]
+	}
+	rec[v] = r
+	switch {
+	case e.m.isSrc[v]:
+		emit[v] = 1
+	case filters != nil && filters[v] && r > 1:
+		emit[v] = 1
+	default:
+		emit[v] = r
 	}
 }
 
@@ -121,21 +140,25 @@ func (e *FloatEngine) Suffix(filters []bool) []float64 {
 
 // suffixInto runs the backward pass into a caller-provided buffer.
 func (e *FloatEngine) suffixInto(filters []bool, suf []float64) {
-	g := e.m.g
 	topo := e.m.topo
 	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		s := 0.0
-		for _, c := range g.Out(v) {
-			w := e.weight(v, c)
-			if filters != nil && filters[c] {
-				s += w
-			} else {
-				s += w * (1 + suf[c])
-			}
-		}
-		suf[v] = s
+		e.stepSuffix(topo[i], filters, suf)
 	}
+}
+
+// stepSuffix computes the downstream amplification at one node from its
+// out-neighbors; the per-node kernel shared with the parallel pass.
+func (e *FloatEngine) stepSuffix(v int, filters []bool, suf []float64) {
+	s := 0.0
+	for _, c := range e.m.g.Out(v) {
+		w := e.weight(v, c)
+		if filters != nil && filters[c] {
+			s += w
+		} else {
+			s += w * (1 + suf[c])
+		}
+	}
+	suf[v] = s
 }
 
 // Impacts implements Evaluator.

@@ -212,6 +212,23 @@ func (e *Incremental) SetFilter(v int, on bool) {
 	e.Update([]int{v}, e.g.In(v))
 }
 
+// Clone returns an independent copy of the engine's propagation state
+// sharing the same graph view. Clones support concurrent read/Update use
+// on their own state while the overlay itself is quiescent (the view is
+// shared, not copied); dyn.Maintainer uses clones to probe candidate
+// repairs without disturbing the live state.
+func (e *Incremental) Clone() *Incremental {
+	c := &Incremental{g: e.g, stats: e.stats}
+	c.isSrc = append([]bool(nil), e.isSrc...)
+	c.filters = append([]bool(nil), e.filters...)
+	c.rec = append([]float64(nil), e.rec...)
+	c.emit = append([]float64(nil), e.emit...)
+	c.suf = append([]float64(nil), e.suf...)
+	c.inQF = make([]bool, len(e.inQF))
+	c.inQB = make([]bool, len(e.inQB))
+	return c
+}
+
 // IsFilter reports whether v is currently a filter.
 func (e *Incremental) IsFilter(v int) bool { return e.filters[v] }
 

@@ -86,6 +86,17 @@ func (me *MultiEngine) Items() []Item { return append([]Item(nil), me.items...) 
 // Model implements Evaluator; see NewMulti for what the base model means.
 func (me *MultiEngine) Model() *Model { return me.base }
 
+// Clone implements Cloner: per-item engines are cloned, everything else is
+// shared immutable state.
+func (me *MultiEngine) Clone() Evaluator {
+	c := &MultiEngine{base: me.base, items: me.items, rates: me.rates}
+	c.engines = make([]*FloatEngine, len(me.engines))
+	for i, e := range me.engines {
+		c.engines[i] = e.Clone().(*FloatEngine)
+	}
+	return c
+}
+
 // Phi implements Evaluator: the rate-weighted total deliveries across all
 // items.
 func (me *MultiEngine) Phi(filters []bool) float64 {

@@ -1,0 +1,244 @@
+package flow
+
+import "sync"
+
+// Parallel evaluation support. Greedy placement is embarrassingly parallel
+// per round — the closed-form gains all derive from one forward and one
+// backward topological pass, and the passes themselves decompose by
+// topological level: every node of a level depends only on nodes of
+// earlier levels, so a level's nodes can be computed concurrently. Each
+// node is still computed by exactly one goroutine with the same per-node
+// kernel (stepForward/stepSuffix) and the same neighbor iteration order as
+// the serial pass, so parallel results are bit-for-bit identical to serial
+// ones regardless of worker count or shard boundaries.
+
+// Cloner is implemented by evaluators that can duplicate themselves
+// cheaply for concurrent use: the clone shares the immutable Model (and
+// any cached invariants) but owns private scratch state. core.Place uses
+// clones to shard per-candidate gain evaluations across a worker pool.
+type Cloner interface {
+	Evaluator
+	// Clone returns an evaluator that may be used concurrently with the
+	// receiver and with other clones. Results are bit-for-bit identical
+	// to the receiver's.
+	Clone() Evaluator
+}
+
+// ParallelEvaluator is implemented by evaluators whose passes parallelize
+// internally. The *P methods behave exactly like their serial
+// counterparts — including tie-breaking and floating-point results — using
+// up to procs goroutines; procs ≤ 1 is the serial path.
+type ParallelEvaluator interface {
+	Evaluator
+	// ArgmaxImpactP is ArgmaxImpact with level-parallel passes.
+	ArgmaxImpactP(filters, banned []bool, procs int) (v int, gain float64)
+	// ImpactsP is Impacts with level-parallel passes.
+	ImpactsP(filters []bool, procs int) []float64
+}
+
+// passLevels is the topological level decomposition of a model's DAG:
+// fwd[d] holds the nodes at forward depth d (all in-neighbors at depths
+// < d), bwd[h] the nodes at backward height h (all out-neighbors at
+// heights < h). Within a bucket nodes appear in topological order, so the
+// decomposition is deterministic.
+type passLevels struct {
+	fwd [][]int
+	bwd [][]int
+}
+
+// levels lazily builds the level decomposition. It mutates the engine (not
+// the shared Model), so it follows the engine's single-goroutine contract;
+// clones made after the first parallel call share the built decomposition.
+func (e *FloatEngine) levels() *passLevels {
+	if e.lv != nil {
+		return e.lv
+	}
+	g, topo := e.m.g, e.m.topo
+	n := g.N()
+	depth := make([]int, n)
+	maxDepth := 0
+	for _, v := range topo {
+		d := 0
+		for _, p := range g.In(v) {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[v] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fwd := make([][]int, maxDepth+1)
+	for _, v := range topo {
+		fwd[depth[v]] = append(fwd[depth[v]], v)
+	}
+	height := make([]int, n)
+	maxHeight := 0
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		h := 0
+		for _, c := range g.Out(v) {
+			if height[c]+1 > h {
+				h = height[c] + 1
+			}
+		}
+		height[v] = h
+		if h > maxHeight {
+			maxHeight = h
+		}
+	}
+	bwd := make([][]int, maxHeight+1)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		bwd[height[v]] = append(bwd[height[v]], v)
+	}
+	e.lv = &passLevels{fwd: fwd, bwd: bwd}
+	return e.lv
+}
+
+// minParallelSpan is the bucket size below which a level runs serially:
+// spawning goroutines costs more than computing a few dozen nodes.
+const minParallelSpan = 128
+
+// parallelFor splits [0, n) into at most procs contiguous chunks and runs
+// fn on each concurrently, returning when all complete. Small spans run
+// inline.
+func parallelFor(n, procs int, fn func(lo, hi int)) {
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 || n < minParallelSpan {
+		fn(0, n)
+		return
+	}
+	chunk := (n + procs - 1) / procs
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelForChunks is parallelFor returning fn's per-chunk results in
+// ascending chunk order, so callers can reduce them with the same
+// left-to-right rule a serial scan would apply.
+func parallelForChunks[T any](n, procs int, fn func(lo, hi int) T) []T {
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 || n < minParallelSpan {
+		return []T{fn(0, n)}
+	}
+	chunk := (n + procs - 1) / procs
+	out := make([]T, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i := range out {
+		lo, hi := i*chunk, min((i+1)*chunk, n)
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			out[i] = fn(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// forwardIntoP is forwardInto with each level's nodes sharded across
+// procs goroutines.
+func (e *FloatEngine) forwardIntoP(filters []bool, rec, emit []float64, procs int) {
+	for _, bucket := range e.levels().fwd {
+		b := bucket
+		parallelFor(len(b), procs, func(lo, hi int) {
+			for _, v := range b[lo:hi] {
+				e.stepForward(v, filters, rec, emit)
+			}
+		})
+	}
+}
+
+// suffixIntoP is suffixInto with each backward level's nodes sharded
+// across procs goroutines.
+func (e *FloatEngine) suffixIntoP(filters []bool, suf []float64, procs int) {
+	for _, bucket := range e.levels().bwd {
+		b := bucket
+		parallelFor(len(b), procs, func(lo, hi int) {
+			for _, v := range b[lo:hi] {
+				e.stepSuffix(v, filters, suf)
+			}
+		})
+	}
+}
+
+// ArgmaxImpactP implements ParallelEvaluator. The scan shards into
+// contiguous node ranges whose local maxima are reduced in ascending
+// order under the same strict-improvement rule as the serial scan, so
+// ties break toward the smaller node id exactly as ArgmaxImpact does.
+func (e *FloatEngine) ArgmaxImpactP(filters, banned []bool, procs int) (int, float64) {
+	if procs <= 1 {
+		return e.ArgmaxImpact(filters, banned)
+	}
+	e.ensureScratch()
+	e.forwardIntoP(filters, e.scratchRec, e.scratchEmit, procs)
+	e.suffixIntoP(filters, e.scratchSuf, procs)
+	type local struct {
+		v    int
+		gain float64
+	}
+	locals := parallelForChunks(len(e.scratchRec), procs, func(lo, hi int) local {
+		best, bestGain := -1, 0.0
+		for v := lo; v < hi; v++ {
+			r := e.scratchRec[v]
+			if banned != nil && banned[v] {
+				continue
+			}
+			if e.m.isSrc[v] || (filters != nil && filters[v]) || r <= 1 {
+				continue
+			}
+			if gn := (r - 1) * e.scratchSuf[v]; gn > bestGain {
+				best, bestGain = v, gn
+			}
+		}
+		return local{best, bestGain}
+	})
+	best, bestGain := -1, 0.0
+	for _, l := range locals {
+		if l.v >= 0 && l.gain > bestGain {
+			best, bestGain = l.v, l.gain
+		}
+	}
+	return best, bestGain
+}
+
+// ImpactsP implements ParallelEvaluator.
+func (e *FloatEngine) ImpactsP(filters []bool, procs int) []float64 {
+	if procs <= 1 {
+		return e.Impacts(filters)
+	}
+	n := e.m.g.N()
+	rec := make([]float64, n)
+	emit := make([]float64, n)
+	suf := make([]float64, n)
+	e.forwardIntoP(filters, rec, emit, procs)
+	e.suffixIntoP(filters, suf, procs)
+	gains := make([]float64, n)
+	parallelFor(n, procs, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if e.m.isSrc[v] || (filters != nil && filters[v]) {
+				continue
+			}
+			excess := rec[v] - 1
+			if rec[v] < 1 {
+				excess = 0 // emission is unchanged by a filter when rec ≤ 1
+			}
+			gains[v] = excess * suf[v]
+		}
+	})
+	return gains
+}

@@ -1,0 +1,177 @@
+package flow
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomDAGModel builds a random single-source-ish DAG model for tests:
+// edges only go from lower to higher ids, so it is always acyclic.
+func randomDAGModel(t testing.TB, n int, p float64, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCloneMatchesOriginal checks that clones of all engines agree exactly
+// with their originals on every Evaluator query.
+func TestCloneMatchesOriginal(t *testing.T) {
+	m := randomDAGModel(t, 120, 0.06, 1)
+	filters := make([]bool, m.N())
+	for v := 0; v < m.N(); v += 7 {
+		if !m.IsSource(v) {
+			filters[v] = true
+		}
+	}
+	engines := map[string]Cloner{
+		"float": NewFloat(m),
+		"big":   NewBig(m),
+	}
+	me, err := NewMulti(m.Graph(), []Item{{Name: "a", Source: m.Sources()[0], Rate: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["multi"] = me
+	for name, ev := range engines {
+		c := ev.Clone()
+		if c.Phi(filters) != ev.Phi(filters) {
+			t.Errorf("%s: clone Phi %v != original %v", name, c.Phi(filters), ev.Phi(filters))
+		}
+		if c.MaxF() != ev.MaxF() {
+			t.Errorf("%s: clone MaxF differs", name)
+		}
+		gv, gg := ev.ArgmaxImpact(filters, filters)
+		cv, cg := c.ArgmaxImpact(filters, filters)
+		if gv != cv || gg != cg {
+			t.Errorf("%s: clone ArgmaxImpact (%d,%v) != original (%d,%v)", name, cv, cg, gv, gg)
+		}
+	}
+}
+
+// TestCloneConcurrentHammer drives many cloned evaluators concurrently
+// (run under -race) and checks every goroutine sees bit-identical results.
+func TestCloneConcurrentHammer(t *testing.T) {
+	m := randomDAGModel(t, 200, 0.04, 2)
+	root := NewFloat(m)
+	// Build the level cache up front so clones share it, then reference
+	// results from a serial run.
+	wantV, wantG := root.ArgmaxImpactP(nil, nil, 2)
+	wantPhi := root.Phi(nil)
+
+	workers := 4 * runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errc := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := root.Clone()
+			filters := make([]bool, m.N())
+			for i := 0; i < 25; i++ {
+				if phi := ev.Phi(nil); phi != wantPhi {
+					errc <- "Phi diverged"
+					return
+				}
+				v, g := ev.ArgmaxImpact(filters, filters)
+				if v != wantV || g != wantG {
+					errc <- "ArgmaxImpact diverged"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+// TestParallelPassesBitIdentical checks ArgmaxImpactP and ImpactsP against
+// the serial pass across worker counts, filter sets and weighted models.
+func TestParallelPassesBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		m := randomDAGModel(t, 300, 0.03, seed)
+		if seed%2 == 0 {
+			m = m.WithWeights(func(u, v int) float64 {
+				return 0.25 + 0.5*float64((u+v)%3)/2
+			})
+		}
+		e := NewFloat(m)
+		filters := make([]bool, m.N())
+		for round := 0; round < 5; round++ {
+			wantGains := e.Impacts(filters)
+			wantV, wantG := e.ArgmaxImpact(filters, filters)
+			for _, procs := range []int{1, 2, 4, runtime.GOMAXPROCS(0) + 3} {
+				gains := e.ImpactsP(filters, procs)
+				for v := range gains {
+					if gains[v] != wantGains[v] {
+						t.Fatalf("seed %d procs %d: ImpactsP[%d] = %v, serial %v", seed, procs, v, gains[v], wantGains[v])
+					}
+				}
+				v, g := e.ArgmaxImpactP(filters, filters, procs)
+				if v != wantV || g != wantG {
+					t.Fatalf("seed %d procs %d: ArgmaxImpactP (%d,%v), serial (%d,%v)", seed, procs, v, g, wantV, wantG)
+				}
+			}
+			if wantV < 0 {
+				break
+			}
+			filters[wantV] = true
+		}
+	}
+}
+
+// TestIncrementalClone checks an Incremental clone evolves independently.
+func TestIncrementalClone(t *testing.T) {
+	m := randomDAGModel(t, 80, 0.08, 3)
+	d := staticDyn{m}
+	e := NewIncremental(d, m.Sources(), nil)
+	v, _ := e.ArgmaxGain()
+	if v < 0 {
+		t.Skip("degenerate graph: no positive gain")
+	}
+	c := e.Clone()
+	c.SetFilter(v, true)
+	if !c.IsFilter(v) || e.IsFilter(v) {
+		t.Fatalf("clone filter state leaked into original")
+	}
+	if e.Phi() == c.Phi() {
+		t.Fatalf("filter at %d did not change clone Phi", v)
+	}
+}
+
+// staticDyn adapts an immutable Model to the DynDigraph view.
+type staticDyn struct{ m *Model }
+
+func (s staticDyn) N() int          { return s.m.N() }
+func (s staticDyn) Out(v int) []int { return s.m.Graph().Out(v) }
+func (s staticDyn) In(v int) []int  { return s.m.Graph().In(v) }
+func (s staticDyn) OrdOf(v int) int {
+	for i, u := range s.m.Topo() {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -120,7 +120,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &spec) {
 		return
 	}
-	algo, err := spec.validate(m)
+	algo, err := spec.validate(m, s.maxParallelism)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "place spec: %v", err)
 		return
@@ -132,7 +132,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !algo.async {
-		res, err := spec.execute(r.Context(), algo, m, id)
+		res, err := spec.execute(r.Context(), algo, m, id, s.metrics)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, "placement: %v", err)
 			return

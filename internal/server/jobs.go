@@ -204,7 +204,7 @@ func (e *JobEngine) worker() {
 		if j.runFn != nil {
 			res, err = j.runFn(ctx)
 		} else {
-			res, err = j.spec.execute(ctx, j.algo, j.model, j.graphID)
+			res, err = j.spec.execute(ctx, j.algo, j.model, j.graphID, e.metrics)
 		}
 		e.metrics.JobsRunning.Add(-1)
 		cancel()

@@ -19,18 +19,18 @@ func testModel(t *testing.T) *flow.Model {
 	return m
 }
 
-// blockingAlgo returns an algoSpec that parks until release is closed (or
+// blockingFn returns a job closure that parks until release is closed (or
 // the job context is canceled), so tests can hold a worker busy
 // deterministically.
-func blockingAlgo(release <-chan struct{}) algoSpec {
-	return algoSpec{async: true, run: func(ctx context.Context, _ flow.Evaluator, _ int, _ int64) ([]int, error) {
+func blockingFn(release <-chan struct{}) func(context.Context) (*PlaceResult, error) {
+	return func(ctx context.Context) (*PlaceResult, error) {
 		select {
 		case <-release:
-			return []int{1}, nil
+			return &PlaceResult{Filters: []int{1}}, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-	}}
+	}
 }
 
 func newTestEngine(workers, depth int) (*JobEngine, *Metrics) {
@@ -61,11 +61,10 @@ func waitState(t *testing.T, e *JobEngine, id string, want JobState) JobInfo {
 func TestCancelRunningJob(t *testing.T) {
 	e, metrics := newTestEngine(1, 4)
 	defer e.Close()
-	m := testModel(t)
 	release := make(chan struct{})
 	defer close(release)
 
-	info, err := e.Submit("g1", PlaceSpec{Algorithm: "gall", K: 1}, blockingAlgo(release), m, "k1")
+	info, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,15 +89,14 @@ func TestCancelRunningJob(t *testing.T) {
 func TestCancelQueuedJob(t *testing.T) {
 	e, _ := newTestEngine(1, 4)
 	defer e.Close()
-	m := testModel(t)
 	release := make(chan struct{})
 
-	running, err := e.Submit("g1", PlaceSpec{Algorithm: "gall", K: 1}, blockingAlgo(release), m, "k1")
+	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	queued, err := e.Submit("g1", PlaceSpec{Algorithm: "gall", K: 2}, blockingAlgo(release), m, "k2")
+	queued, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 2}, "k2", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,19 +121,18 @@ func TestCancelQueuedJob(t *testing.T) {
 func TestQueueFullRejects(t *testing.T) {
 	e, metrics := newTestEngine(1, 1)
 	defer e.Close()
-	m := testModel(t)
 	release := make(chan struct{})
 	defer close(release)
 
-	running, err := e.Submit("g1", PlaceSpec{K: 1}, blockingAlgo(release), m, "k1")
+	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	if _, err := e.Submit("g1", PlaceSpec{K: 2}, blockingAlgo(release), m, "k2"); err != nil {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 2}, "k2", blockingFn(release)); err != nil {
 		t.Fatalf("queue slot should be free: %v", err)
 	}
-	if _, err := e.Submit("g1", PlaceSpec{K: 3}, blockingAlgo(release), m, "k3"); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 3}, "k3", blockingFn(release)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if metrics.JobsRejected.Load() != 1 {
@@ -145,9 +142,8 @@ func TestQueueFullRejects(t *testing.T) {
 
 func TestEngineCloseCancelsRunning(t *testing.T) {
 	e, _ := newTestEngine(2, 4)
-	m := testModel(t)
 	never := make(chan struct{}) // only the context can unblock the job
-	info, err := e.Submit("g1", PlaceSpec{K: 1}, blockingAlgo(never), m, "k1")
+	info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", blockingFn(never))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +152,7 @@ func TestEngineCloseCancelsRunning(t *testing.T) {
 	if got, _ := e.Get(info.ID); got.State != JobCanceled {
 		t.Errorf("state after close = %s, want canceled", got.State)
 	}
-	if _, err := e.Submit("g1", PlaceSpec{K: 1}, blockingAlgo(never), m, "k2"); !errors.Is(err, ErrClosed) {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k2", blockingFn(never)); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after close: err = %v, want ErrClosed", err)
 	}
 	e.Close() // idempotent
@@ -189,13 +185,14 @@ func TestResultCacheEvictionAndOverwrite(t *testing.T) {
 }
 
 // TestGreedyCtxCancel checks that both async algorithms honor an
-// already-canceled context.
+// already-canceled context through the shared execute path.
 func TestGreedyCtxCancel(t *testing.T) {
 	m := testModel(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, algo := range []string{"gall", "celf"} {
-		if _, err := algos[algo].run(ctx, flow.NewFloat(m), 2, 0); !errors.Is(err, context.Canceled) {
+		spec := PlaceSpec{Algorithm: algo, K: 2, Engine: "float"}
+		if _, err := spec.execute(ctx, algos[algo], m, "g1", nil); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", algo, err)
 		}
 	}
@@ -207,15 +204,14 @@ func TestGreedyCtxCancel(t *testing.T) {
 func TestSubmitDeduplicatesInFlight(t *testing.T) {
 	e, metrics := newTestEngine(1, 4)
 	defer e.Close()
-	m := testModel(t)
 	release := make(chan struct{})
 	defer close(release)
 
-	first, err := e.Submit("g1", PlaceSpec{Algorithm: "gall", K: 1}, blockingAlgo(release), m, "same-key")
+	first, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup, err := e.Submit("g1", PlaceSpec{Algorithm: "gall", K: 1}, blockingAlgo(release), m, "same-key")
+	dup, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,15 +231,14 @@ func TestTerminalJobRetentionBound(t *testing.T) {
 	metrics := &Metrics{}
 	e := NewJobEngine(1, 1, 1, newResultCache(8, metrics), metrics)
 	defer e.Close()
-	m := testModel(t)
-	instant := algoSpec{async: true, run: func(context.Context, flow.Evaluator, int, int64) ([]int, error) {
-		return []int{1}, nil
-	}}
+	instant := func(context.Context) (*PlaceResult, error) {
+		return &PlaceResult{Filters: []int{1}}, nil
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	var last string
 	for i := 0; i < 6; i++ {
-		info, err := e.Submit("g1", PlaceSpec{K: 1}, instant, m, string(rune('a'+i)))
+		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, string(rune('a'+i)), instant)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -30,6 +30,12 @@ type Metrics struct {
 	CacheMisses    atomic.Int64
 	// CacheInvalidations counts placements dropped by graph mutations.
 	CacheInvalidations atomic.Int64
+	// PlaceWorkersBusy is a gauge of goroutines currently reserved by
+	// running placements (each job contributes its parallelism).
+	PlaceWorkersBusy atomic.Int64
+	// OracleEvaluations counts single-node marginal-gain computations
+	// spent across all placements (core.OracleStats.GainEvaluations).
+	OracleEvaluations atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -60,6 +66,8 @@ type MetricsSnapshot struct {
 	CacheMisses        int64 `json:"cache_misses"`
 	CacheInvalidations int64 `json:"cache_invalidations"`
 	CacheEntries       int64 `json:"cache_entries"`
+	PlaceWorkersBusy   int64 `json:"place_workers_busy"`
+	OracleEvaluations  int64 `json:"oracle_evaluations"`
 }
 
 // Snapshot copies every counter.
@@ -86,5 +94,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheHits:          m.CacheHits.Load(),
 		CacheMisses:        m.CacheMisses.Load(),
 		CacheInvalidations: m.CacheInvalidations.Load(),
+		PlaceWorkersBusy:   m.PlaceWorkersBusy.Load(),
+		OracleEvaluations:  m.OracleEvaluations.Load(),
 	}
 }

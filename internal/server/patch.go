@@ -161,7 +161,7 @@ func (s *Server) submitMaintain(id string, k int) (JobInfo, error) {
 // runMaintain executes one maintenance pass under the graph's per-entry
 // lock and shapes the report as a PlaceResult.
 func (s *Server) runMaintain(ctx context.Context, id string, k int) (*PlaceResult, error) {
-	mt, unlock, err := s.registry.Maintainer(id, k)
+	mt, unlock, err := s.registry.Maintainer(id, k, s.maxParallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -23,6 +22,11 @@ type PlaceSpec struct {
 	Sources []int `json:"sources,omitempty"`
 	// Seed feeds the randomized baselines (randk/randi/randw).
 	Seed int64 `json:"seed,omitempty"`
+	// Parallelism bounds the worker goroutines evaluating marginal gains
+	// for this placement; 0 means serial, values above the server's
+	// MaxParallelism are clamped. Results are bit-for-bit independent of
+	// the setting, so it does not participate in the result-cache key.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // PlaceResult is the placement outcome, returned inline for synchronous
@@ -38,53 +42,38 @@ type PlaceResult struct {
 	F         float64  `json:"f"`
 	FR        float64  `json:"fr"`
 	Cached    bool     `json:"cached"`
+	// Parallelism is the worker count the placement actually used.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Oracle counts the objective-function work the algorithm spent
+	// (omitted for strategies that do no marginal-gain evaluation).
+	Oracle *core.OracleStats `json:"oracle,omitempty"`
 	// Maintain is set by the auto-maintain job kind: what the maintenance
 	// pass did to the previous placement.
 	Maintain *MaintainInfo `json:"maintain,omitempty"`
 }
 
-// algoSpec describes one placement algorithm: how to run it, whether it
-// is expensive enough to route through the async job engine, and which
-// request fields (seed, k) actually matter for its result.
+// algoSpec describes one placement algorithm: which core.Place strategy
+// runs it, whether it is expensive enough to route through the async job
+// engine, and which request fields (seed, k) actually matter for its
+// result.
 type algoSpec struct {
 	async      bool
 	randomized bool
 	kless      bool // ignores the budget (prop1 places at every merge node)
-	run        func(ctx context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error)
+	strategy   core.Strategy
 }
 
 var algos = map[string]algoSpec{
-	"gall": {async: true, run: func(ctx context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.GreedyAllCtx(ctx, ev, k)
-	}},
-	"celf": {async: true, run: func(ctx context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		filters, _, err := core.GreedyAllCELFCtx(ctx, ev, k)
-		return filters, err
-	}},
-	"gmax": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.GreedyMax(ev, k), nil
-	}},
-	"g1": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.Greedy1(ev.Model().Graph(), k), nil
-	}},
-	"gl": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.GreedyL(ev, k), nil
-	}},
-	"glfast": {run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.GreedyLFast(ev, k), nil
-	}},
-	"randk": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
-		return core.RandK(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
-	}},
-	"randi": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
-		return core.RandI(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
-	}},
-	"randw": {randomized: true, run: func(_ context.Context, ev flow.Evaluator, k int, seed int64) ([]int, error) {
-		return core.RandW(ev.Model(), k, rand.New(rand.NewSource(seed))), nil
-	}},
-	"prop1": {kless: true, run: func(_ context.Context, ev flow.Evaluator, k int, _ int64) ([]int, error) {
-		return core.UnboundedOptimal(ev.Model().Graph()), nil
-	}},
+	"gall":   {async: true, strategy: core.StrategyGreedyAll},
+	"celf":   {async: true, strategy: core.StrategyCELF},
+	"gmax":   {strategy: core.StrategyGreedyMax},
+	"g1":     {strategy: core.StrategyGreedy1},
+	"gl":     {strategy: core.StrategyGreedyL},
+	"glfast": {strategy: core.StrategyGreedyLFast},
+	"randk":  {randomized: true, strategy: core.StrategyRandK},
+	"randi":  {randomized: true, strategy: core.StrategyRandI},
+	"randw":  {randomized: true, strategy: core.StrategyRandW},
+	"prop1":  {kless: true, strategy: core.StrategyProp1},
 }
 
 // Algorithms lists the accepted algorithm names, asynchronous ones first.
@@ -104,11 +93,12 @@ func Algorithms() []string {
 }
 
 // validate normalizes the spec in place against a model and returns the
-// algorithm table entry. k must satisfy 1 ≤ k ≤ n. Normalization
-// canonicalizes the cache key: the default engine becomes explicit and the
-// seed is dropped for deterministic algorithms, so requests differing only
-// in irrelevant fields share a cache slot.
-func (sp *PlaceSpec) validate(m *flow.Model) (algoSpec, error) {
+// algorithm table entry. k must satisfy 1 ≤ k ≤ n and parallelism is
+// clamped to [0, maxParallelism]. Normalization canonicalizes the cache
+// key: the default engine becomes explicit and the seed is dropped for
+// deterministic algorithms, so requests differing only in irrelevant
+// fields share a cache slot.
+func (sp *PlaceSpec) validate(m *flow.Model, maxParallelism int) (algoSpec, error) {
 	spec, ok := algos[sp.Algorithm]
 	if !ok {
 		return algoSpec{}, fmt.Errorf("unknown algorithm %q (have %s)",
@@ -129,6 +119,12 @@ func (sp *PlaceSpec) validate(m *flow.Model) (algoSpec, error) {
 	if !spec.randomized {
 		sp.Seed = 0
 	}
+	if sp.Parallelism < 0 {
+		return algoSpec{}, fmt.Errorf("parallelism = %d is negative", sp.Parallelism)
+	}
+	if sp.Parallelism > maxParallelism {
+		sp.Parallelism = maxParallelism
+	}
 	return spec, nil
 }
 
@@ -147,7 +143,9 @@ func (sp *PlaceSpec) newEvaluator(m *flow.Model) flow.Evaluator {
 // the graph's patch count, so a job still in flight when a PATCH commits
 // writes its result under the superseded version and can never be served
 // for the mutated graph — invalidateGraph reclaims the memory, the
-// version keeps the correctness.
+// version keeps the correctness. Parallelism is deliberately absent:
+// placements are bit-for-bit identical at every setting, so concurrent
+// requests differing only in parallelism dedup onto one job.
 func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed)
@@ -157,14 +155,27 @@ func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) stri
 	return b.String()
 }
 
-// execute runs the placement and evaluates the paper's report quantities
-// for the chosen filter set.
-func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string) (*PlaceResult, error) {
+// execute runs the placement through core.Place and evaluates the paper's
+// report quantities for the chosen filter set. metrics (optional) receives
+// the per-job worker gauge and the oracle-call counter.
+func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string, metrics *Metrics) (*PlaceResult, error) {
 	ev := sp.newEvaluator(m)
-	filters, err := spec.run(ctx, ev, sp.K, sp.Seed)
+	if metrics != nil {
+		metrics.PlaceWorkersBusy.Add(int64(max(sp.Parallelism, 1)))
+		defer metrics.PlaceWorkersBusy.Add(-int64(max(sp.Parallelism, 1)))
+	}
+	pres, err := core.Place(ctx, ev, sp.K, core.Options{
+		Strategy:    spec.strategy,
+		Parallelism: sp.Parallelism,
+		Seed:        sp.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
+	if metrics != nil {
+		metrics.OracleEvaluations.Add(int64(pres.Stats.GainEvaluations))
+	}
+	filters := pres.Filters
 	if filters == nil {
 		filters = []int{} // serialize as [], not null
 	}
@@ -174,14 +185,19 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 	}
 	mask := flow.MaskOf(m.N(), filters)
 	res := &PlaceResult{
-		GraphID:   graphID,
-		Algorithm: sp.Algorithm,
-		K:         k,
-		Filters:   filters,
-		PhiEmpty:  ev.Phi(nil),
-		PhiA:      ev.Phi(mask),
-		F:         ev.F(mask),
-		FR:        flow.FR(ev, mask),
+		GraphID:     graphID,
+		Algorithm:   sp.Algorithm,
+		K:           k,
+		Filters:     filters,
+		PhiEmpty:    ev.Phi(nil),
+		PhiA:        ev.Phi(mask),
+		F:           ev.F(mask),
+		FR:          flow.FR(ev, mask),
+		Parallelism: pres.Parallelism,
+	}
+	if pres.Stats != (core.OracleStats{}) {
+		st := pres.Stats
+		res.Oracle = &st
 	}
 	if g := m.Graph(); g.HasLabels() {
 		res.Labels = make([]string, len(filters))

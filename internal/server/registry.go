@@ -374,7 +374,9 @@ func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, er
 // creating or re-budgeting it as needed, plus the function to release the
 // per-entry lock the caller now holds. The lock spans the whole maintain
 // run so a concurrent PATCH cannot mutate the overlay mid-placement.
-func (r *Registry) Maintainer(id string, k int) (*dyn.Maintainer, func(), error) {
+// parallelism bounds the Greedy_All workers of recompute fallbacks (it is
+// fixed at maintainer creation; later calls reuse the existing one).
+func (r *Registry) Maintainer(id string, k, parallelism int) (*dyn.Maintainer, func(), error) {
 	e, ok := r.entry(id)
 	if !ok {
 		return nil, nil, ErrUnknownGraph
@@ -385,7 +387,7 @@ func (r *Registry) Maintainer(id string, k int) (*dyn.Maintainer, func(), error)
 		return nil, nil, err
 	}
 	if e.maintainer == nil {
-		mt, err := dyn.NewMaintainer(e.dynamic, dyn.Options{K: k}, nil)
+		mt, err := dyn.NewMaintainer(e.dynamic, dyn.Options{K: k, Parallelism: parallelism}, nil)
 		if err != nil {
 			e.dynMu.Unlock()
 			return nil, nil, err

@@ -43,6 +43,10 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 64 MiB) — edge-list
 	// uploads can be large.
 	MaxBodyBytes int64
+	// MaxParallelism caps the per-placement `parallelism` request field
+	// (default GOMAXPROCS); requests asking for more are clamped. It also
+	// sets the parallelism of auto-maintain recompute fallbacks.
+	MaxParallelism int
 	// Logger receives request and lifecycle logs; nil disables logging.
 	Logger *log.Logger
 }
@@ -66,19 +70,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
 // Server is the fpd HTTP handler plus its registry, job engine and result
 // cache. Create with New, serve via any http.Server, release with Close.
 type Server struct {
-	mux          *http.ServeMux
-	registry     *Registry
-	jobs         *JobEngine
-	cache        *resultCache
-	metrics      *Metrics
-	logger       *log.Logger
-	maxBodyBytes int64
+	mux            *http.ServeMux
+	registry       *Registry
+	jobs           *JobEngine
+	cache          *resultCache
+	metrics        *Metrics
+	logger         *log.Logger
+	maxBodyBytes   int64
+	maxParallelism int
 }
 
 // New builds a ready-to-serve Server.
@@ -87,13 +95,14 @@ func New(cfg Config) *Server {
 	m := &Metrics{}
 	cache := newResultCache(cfg.CacheSize, m)
 	s := &Server{
-		mux:          http.NewServeMux(),
-		registry:     NewRegistry(cfg.MaxGraphs, m),
-		jobs:         NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m),
-		cache:        cache,
-		metrics:      m,
-		logger:       cfg.Logger,
-		maxBodyBytes: cfg.MaxBodyBytes,
+		mux:            http.NewServeMux(),
+		registry:       NewRegistry(cfg.MaxGraphs, m),
+		jobs:           NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m),
+		cache:          cache,
+		metrics:        m,
+		logger:         cfg.Logger,
+		maxBodyBytes:   cfg.MaxBodyBytes,
+		maxParallelism: cfg.MaxParallelism,
 	}
 	for pattern, h := range s.Routes() {
 		s.mux.HandleFunc(pattern, h)

@@ -504,3 +504,59 @@ func TestJobListing(t *testing.T) {
 		t.Errorf("spec echoed wrong: %+v", list.Jobs[0].Spec)
 	}
 }
+
+// TestParallelPlacement checks the parallelism request field: clamped to
+// the server's MaxParallelism, identical filters to the serial run, the
+// effective worker count echoed in the result, and the new /metrics
+// gauges present.
+func TestParallelPlacement(t *testing.T) {
+	ts := newTestServer(t, server.Config{Workers: 2, MaxParallelism: 2})
+	info := uploadDiamond(t, ts.URL)
+	place := ts.URL + "/v1/graphs/" + info.ID + "/place"
+
+	var serial server.JobInfo
+	if code := doJSON(t, "POST", place,
+		server.PlaceSpec{Algorithm: "gall", K: 1}, &serial); code != http.StatusAccepted {
+		t.Fatalf("serial place: status %d", code)
+	}
+	serialDone := waitJob(t, ts.URL, serial.ID)
+	if serialDone.State != server.JobDone {
+		t.Fatalf("serial job: %+v", serialDone)
+	}
+
+	// A parallelism request beyond the cap is clamped, reuses the cache
+	// slot (parallelism is not part of the key) and returns identical
+	// filters.
+	var cached server.PlaceResult
+	if code := doJSON(t, "POST", place,
+		server.PlaceSpec{Algorithm: "gall", K: 1, Parallelism: 64}, &cached); code != http.StatusOK {
+		t.Fatalf("parallel place: status %d", code)
+	}
+	if !cached.Cached {
+		t.Error("parallel request missed the cache despite identical key")
+	}
+	if fmt.Sprint(cached.Filters) != fmt.Sprint(serialDone.Result.Filters) {
+		t.Errorf("parallel filters %v != serial %v", cached.Filters, serialDone.Result.Filters)
+	}
+	if serialDone.Result.Oracle == nil || serialDone.Result.Oracle.GainEvaluations == 0 {
+		t.Errorf("greedy result carries no oracle stats: %+v", serialDone.Result)
+	}
+
+	// Negative parallelism is a client error.
+	var errBody map[string]any
+	if code := doJSON(t, "POST", place,
+		server.PlaceSpec{Algorithm: "gmax", K: 1, Parallelism: -1}, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: status %d, want 400", code)
+	}
+
+	var snap server.MetricsSnapshot
+	if code := doJSON(t, "GET", ts.URL+"/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.OracleEvaluations == 0 {
+		t.Error("oracle_evaluations gauge never moved")
+	}
+	if snap.PlaceWorkersBusy != 0 {
+		t.Errorf("place_workers_busy = %d after all jobs finished", snap.PlaceWorkersBusy)
+	}
+}
