@@ -421,3 +421,75 @@ func BenchmarkPlaceParallel(b *testing.B) {
 		})
 	}
 }
+
+// --- Batched multi-graph placement (core.PlaceBatch). One iteration =
+// placing k filters on a whole fleet of small layered graphs, either
+// graph-by-graph (the pre-batch service pattern: one job per graph
+// through the queue) or as one gang on the process-wide scheduler.
+// Results are bit-identical between the two (core.TestPlaceBatchBitIdentical),
+// so the ratio is pure scheduling signal. BENCH_batch.json records the
+// measured curve; on a single-CPU host the gang ratio is ~1× by
+// construction — the win is multi-core interleaving.
+
+const (
+	batchBenchGraphs = 32
+	batchBenchK      = 8
+)
+
+type fleetFixture struct {
+	evs []fp.Evaluator
+}
+
+var fleetFix *fleetFixture
+
+func fleet(b *testing.B) *fleetFixture {
+	if fleetFix == nil {
+		evs := make([]fp.Evaluator, batchBenchGraphs)
+		for i := range evs {
+			g, src := fp.Layered(8, 60, 1, 4, int64(i+1))
+			m, err := fp.NewModel(g, []int{src})
+			if err != nil {
+				b.Fatal(err)
+			}
+			evs[i] = fp.NewFloat(m)
+		}
+		fleetFix = &fleetFixture{evs: evs}
+	}
+	return fleetFix
+}
+
+func BenchmarkPlaceBatch(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		opts := fp.PlaceOptions{Strategy: fp.StrategyGreedyAll, Parallelism: procs}
+		b.Run(fmt.Sprintf("sequential/procs=%d", procs), func(b *testing.B) {
+			fx := fleet(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ev := range fx.evs {
+					res, err := fp.Place(context.Background(), ev, batchBenchK, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Filters) == 0 {
+						b.Fatal("no filters placed")
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gang/procs=%d", procs), func(b *testing.B) {
+			fx := fleet(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := fp.PlaceBatch(context.Background(), fx.evs, batchBenchK, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if len(res.Filters) == 0 {
+						b.Fatal("no filters placed")
+					}
+				}
+			}
+		})
+	}
+}

@@ -17,10 +17,16 @@
 //	GET    /v1/graphs/{id}           graph info and stats
 //	PATCH  /v1/graphs/{id}/edges     mutate edges; optional auto-maintain
 //	POST   /v1/graphs/{id}/place     place filters (202 + job for greedy)
+//	POST   /v1/placements:batch      gang-place one spec over many graphs
 //	GET    /v1/graphs/{id}/evaluate  Φ and FR for an explicit filter set
 //	GET    /v1/jobs/{id}             poll an async placement or maintain job
 //	DELETE /v1/jobs/{id}             cancel a job
 //	GET    /healthz, /metrics        liveness, counters, queue depth
+//
+// All placement work — solo jobs, gang batches, auto-maintain recomputes —
+// executes on one process-wide work-stealing scheduler sized by
+// -sched-workers, so concurrent placements share a bounded pool instead
+// of spawning goroutines per call.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, running
 // jobs are canceled, and the worker pool exits.
@@ -65,6 +71,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxGraphs = fs.Int("max-graphs", 32, "graph registry capacity (LRU)")
 		cacheSize = fs.Int("cache-size", 256, "placement result cache capacity (LRU)")
 		maxPar    = fs.Int("max-parallelism", 0, "cap on the per-placement 'parallelism' request field (0: GOMAXPROCS)")
+		schedW    = fs.Int("sched-workers", 0, "process-wide placement scheduler pool size shared by all jobs (0: GOMAXPROCS)")
 		grace     = fs.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		quiet     = fs.Bool("q", false, "disable request logging")
 	)
@@ -84,6 +91,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		MaxGraphs:      *maxGraphs,
 		CacheSize:      *cacheSize,
 		MaxParallelism: *maxPar,
+		SchedWorkers:   *schedW,
 		Logger:         reqLogger,
 	})
 	defer srv.Close()

@@ -9,9 +9,13 @@
 //	fpplace -in graph.edges -k 5 -algo gmax -engine big
 //	fpplace -in cyclic.edges -acyclic -source 0 -k 4
 //	fpplace -in graph.edges -impacts
+//	fpplace -k 10 -algo gall g1.edges g2.edges g3.edges
 //
-// -procs shards each greedy round's marginal-gain evaluation across that
-// many goroutines; the placement is bit-for-bit identical at any setting.
+// -procs shards each greedy round's marginal-gain evaluation; the
+// placement is bit-for-bit identical at any setting. With multiple input
+// files the placements run as one gang on the process-wide scheduler
+// (batched multi-graph placement), each graph's result identical to a
+// solo run on that file.
 //
 // Cyclic inputs must be passed through -acyclic, which runs the paper's
 // Acyclic extraction before placement (use -source to pick the DFS root, or

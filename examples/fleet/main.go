@@ -1,0 +1,108 @@
+// Command fleet demonstrates batched multi-graph placement: one tenant
+// placing filters over a whole fleet of evolving Twitter-like c-graphs —
+// the regime where a corpus yields many per-community subgraphs and solo
+// placement calls would serialize through the scheduler one graph at a
+// time.
+//
+// The program generates dozens of small Twitter-churn graphs (each a
+// TwitterLike base evolved through a distinct mutation stream), then
+// places the same budget on every graph twice: sequentially (one
+// fp.Place per graph) and as one fp.PlaceBatch gang on the process-wide
+// scheduler. It verifies the two agree filter-for-filter — the batch is
+// a scheduling change, not an algorithmic one — and reports wall-clock
+// for both along with the scheduler's worker count.
+//
+// Run with:
+//
+//	go run ./examples/fleet
+//	go run ./examples/fleet -graphs 48 -k 8 -procs 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"reflect"
+	"time"
+
+	fp "repro"
+)
+
+func main() {
+	var (
+		graphs  = flag.Int("graphs", 36, "fleet size (number of churned graphs)")
+		k       = flag.Int("k", 6, "filter budget per graph")
+		procs   = flag.Int("procs", 2, "per-placement parallelism (sharding width)")
+		workers = flag.Int("sched-workers", 0, "scheduler pool size (0: GOMAXPROCS)")
+		churn   = flag.Float64("churn", 0.02, "per-batch edge churn fraction")
+	)
+	flag.Parse()
+	if *workers > 0 {
+		fp.SetSchedulerWorkers(*workers)
+	}
+
+	// Build the fleet: one small TwitterLike base per seed, evolved
+	// through a few churn batches so every graph has its own history.
+	fmt.Printf("generating %d Twitter-churn graphs…\n", *graphs)
+	evs := make([]fp.Evaluator, *graphs)
+	for i := range evs {
+		seed := int64(i + 1)
+		g, src := fp.TwitterLike(0.01, seed)
+		d, err := fp.NewDynamic(g, []int{src})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, mut := range fp.TwitterChurn(g, 3, *churn, seed) {
+			if _, err := d.Apply(fp.MutationBatch{Add: mut.Add, Remove: mut.Remove}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		m, err := fp.NewModel(d.Snapshot(), d.Sources())
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs[i] = fp.NewFloat(m)
+	}
+
+	opts := fp.PlaceOptions{Strategy: fp.StrategyGreedyAll, Parallelism: *procs}
+	ctx := context.Background()
+
+	// Sequential reference: one solo call per graph (fresh evaluators so
+	// engine scratch state matches a cold solo run).
+	seqStart := time.Now()
+	seq := make([]fp.Placement, len(evs))
+	for i, ev := range evs {
+		var err error
+		seq[i], err = fp.Place(ctx, ev, *k, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	seqElapsed := time.Since(seqStart)
+
+	// The gang: every placement submitted at once, oracle work from all
+	// graphs interleaved on the shared workers.
+	batchStart := time.Now()
+	batch, err := fp.PlaceBatch(ctx, evs, *k, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchElapsed := time.Since(batchStart)
+
+	for i := range evs {
+		if !reflect.DeepEqual(seq[i].Filters, batch[i].Filters) || seq[i].Stats != batch[i].Stats {
+			log.Fatalf("graph %d: batch diverged from solo (%v vs %v)", i, batch[i].Filters, seq[i].Filters)
+		}
+	}
+
+	fmt.Printf("fleet:        %d graphs, k=%d, parallelism=%d, scheduler workers=%d\n",
+		*graphs, *k, *procs, fp.SchedulerWorkers())
+	fmt.Printf("sequential:   %v\n", seqElapsed.Round(time.Millisecond))
+	fmt.Printf("gang (batch): %v\n", batchElapsed.Round(time.Millisecond))
+	if batchElapsed > 0 {
+		fmt.Printf("speedup:      %.2fx (expect ~1x on a single core; scales with cores)\n",
+			float64(seqElapsed)/float64(batchElapsed))
+	}
+	fmt.Printf("results:      bit-identical to solo placement on every graph ✓\n")
+}

@@ -23,10 +23,13 @@
 //     greedy-l, the rand-* baselines, prop1) behind one entry point with
 //     context cancellation, oracle accounting and a Parallelism option
 //     that shards per-round marginal-gain evaluation across cloned
-//     evaluators (results are bit-for-bit identical to serial). The
-//     per-algorithm names (GreedyAll, GreedyAllCELF, …) remain as thin
-//     deprecated wrappers; TreeDP (exact on communication trees) and
-//     Exhaustive (tiny instances) stay separate.
+//     evaluators (results are bit-for-bit identical to serial). All
+//     parallel work executes on a process-wide work-stealing scheduler
+//     (SetSchedulerWorkers), and PlaceBatch gang-submits placements over
+//     many graphs onto it at once. The per-algorithm names (GreedyAll,
+//     GreedyAllCELF, …) remain as thin deprecated wrappers; TreeDP (exact
+//     on communication trees) and Exhaustive (tiny instances) stay
+//     separate.
 //   - Cyclic inputs: Acyclic and AcyclicBestRoot extract a maximal
 //     connected acyclic subgraph first (paper §4.3).
 //   - Dataset generators used by the paper's evaluation, from the layered
@@ -63,6 +66,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // Graph is an immutable directed communication graph. See Builder and
@@ -196,10 +200,36 @@ type PlaceOptions = core.Options
 type Placement = core.Result
 
 // Place is the unified placement engine; see PlaceOptions for the knobs.
-// It returns ctx.Err() when canceled mid-placement.
+// It returns ctx.Err() when canceled mid-placement. Its parallel inner
+// loop executes on the process-wide scheduler shared by every placement
+// in the process (see SetSchedulerWorkers).
 func Place(ctx context.Context, ev Evaluator, k int, opts PlaceOptions) (Placement, error) {
 	return core.Place(ctx, ev, k, opts)
 }
+
+// PlaceBatch places k filters on every evaluator with one gang submission
+// to the process-wide scheduler: sub-placements from all graphs interleave
+// their oracle-level work units on the shared workers, so a fleet of many
+// c-graphs (per-venue or per-year subgraphs of one corpus, say) amortizes
+// scheduling instead of serializing graph by graph. results[i] is
+// bit-for-bit what a solo Place(ctx, evs[i], k, opts) returns — same
+// filters, same OracleStats. Each evaluator must be distinct; randomized
+// strategies seed a fresh rng per graph from opts.Seed (a shared
+// opts.Rand is rejected).
+func PlaceBatch(ctx context.Context, evs []Evaluator, k int, opts PlaceOptions) ([]Placement, error) {
+	return core.PlaceBatch(ctx, evs, k, opts)
+}
+
+// SetSchedulerWorkers resizes the process-wide placement scheduler — the
+// bounded work-stealing pool all Place/PlaceBatch parallel work runs on
+// (the fpd daemon exposes it as -sched-workers). n ≤ 0 resets to
+// GOMAXPROCS. Placements are bit-for-bit identical at every pool size;
+// only throughput changes.
+func SetSchedulerWorkers(n int) { sched.SetDefaultWorkers(n) }
+
+// SchedulerWorkers returns the process-wide scheduler's current worker
+// count.
+func SchedulerWorkers() int { return sched.Default().Workers() }
 
 // CloneableEvaluator is implemented by evaluators that duplicate cheaply
 // for concurrent use (NewFloat, NewBig and NewMulti engines all qualify);

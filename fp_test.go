@@ -401,3 +401,38 @@ func TestPlaceFacade(t *testing.T) {
 		t.Errorf("PlaceStrategies lists %d strategies", len(fp.PlaceStrategies()))
 	}
 }
+
+// TestPlaceBatchFacade checks the gang entry point: per-graph results
+// match solo fp.Place calls exactly, and the scheduler knobs round-trip.
+func TestPlaceBatchFacade(t *testing.T) {
+	evs := make([]fp.Evaluator, 6)
+	want := make([][]int, len(evs))
+	for i := range evs {
+		g, src := fp.Layered(4, 20, 1, 4, int64(i+1))
+		model, err := fp.NewModel(g, []int{src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = fp.NewFloat(model)
+		solo, err := fp.Place(context.Background(), evs[i], 4, fp.PlaceOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = solo.Filters
+	}
+	res, err := fp.PlaceBatch(context.Background(), evs, 4, fp.PlaceOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if fmt.Sprint(res[i].Filters) != fmt.Sprint(want[i]) {
+			t.Errorf("graph %d: batch %v, solo %v", i, res[i].Filters, want[i])
+		}
+	}
+	old := fp.SchedulerWorkers()
+	fp.SetSchedulerWorkers(old + 1)
+	if got := fp.SchedulerWorkers(); got != old+1 {
+		t.Errorf("SchedulerWorkers = %d, want %d", got, old+1)
+	}
+	fp.SetSchedulerWorkers(0) // reset to GOMAXPROCS
+}

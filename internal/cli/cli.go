@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/acyclic"
@@ -136,12 +137,14 @@ func RunFpgen(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// RunFpplace is the fpplace command: place filters on an edge-list graph.
+// RunFpplace is the fpplace command: place filters on one edge-list graph,
+// or — with multiple input files — on all of them as one batched gang
+// through the process-wide scheduler (core.PlaceBatch).
 func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fpplace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("in", "", "edge-list input file ('-' for stdin)")
+		in        = fs.String("in", "", "edge-list input file ('-' for stdin); additional files may be passed as positional arguments for batched placement")
 		k         = fs.Int("k", 10, "filter budget")
 		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | naive | randk | randi | randw | prop1 | tree")
 		engine    = fs.String("engine", "float", "float | big (exact)")
@@ -158,9 +161,23 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("fpplace: -in is required")
+	inputs := fs.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
 	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("fpplace: -in (or positional input files) required")
+	}
+	if len(inputs) > 1 {
+		if *acyclicF || *weighted || *impacts || *dotOut != "" || *algo == "tree" {
+			return fmt.Errorf("fpplace: batched placement over %d files supports plain placement only (no -acyclic, -weighted, -impacts, -dot or tree)", len(inputs))
+		}
+		if slices.Contains(inputs, "-") {
+			return fmt.Errorf("fpplace: stdin ('-') cannot be combined with batched placement; pass files only")
+		}
+		return runFpplaceBatch(inputs, *k, *algo, *engine, *source, *seed, *procs, *quiet, stdout, stderr)
+	}
+	*in = inputs[0]
 
 	var g *graph.Digraph
 	var weightFn func(u, v int) float64
@@ -245,23 +262,8 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 		return nil
 	}
 
-	// CLI names map onto core.Place strategies; "tree" stays separate
-	// (the exact DP has a different signature and tree-only semantics).
-	strategies := map[string]core.Strategy{
-		"gall":   core.StrategyGreedyAll,
-		"celf":   core.StrategyCELF,
-		"naive":  core.StrategyNaive,
-		"gmax":   core.StrategyGreedyMax,
-		"g1":     core.StrategyGreedy1,
-		"gl":     core.StrategyGreedyL,
-		"glfast": core.StrategyGreedyLFast,
-		"randk":  core.StrategyRandK,
-		"randi":  core.StrategyRandI,
-		"randw":  core.StrategyRandW,
-		"prop1":  core.StrategyProp1,
-	}
 	var filters []int
-	if strat, ok := strategies[*algo]; ok {
+	if strat, ok := cliStrategies[*algo]; ok {
 		res, err := core.Place(context.Background(), ev, *k, core.Options{
 			Strategy:    strat,
 			Parallelism: *procs,
@@ -316,5 +318,93 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	fmt.Fprintf(stdout, "Φ(A,V):     %.6g\n", ev.Phi(mask))
 	fmt.Fprintf(stdout, "F(A):       %.6g\n", ev.F(mask))
 	fmt.Fprintf(stdout, "FR(A):      %.4f\n", flow.FR(ev, mask))
+	return nil
+}
+
+// cliStrategies maps CLI algorithm names onto core.Place strategies;
+// "tree" stays separate (the exact DP has a different signature and
+// tree-only semantics).
+var cliStrategies = map[string]core.Strategy{
+	"gall":   core.StrategyGreedyAll,
+	"celf":   core.StrategyCELF,
+	"naive":  core.StrategyNaive,
+	"gmax":   core.StrategyGreedyMax,
+	"g1":     core.StrategyGreedy1,
+	"gl":     core.StrategyGreedyL,
+	"glfast": core.StrategyGreedyLFast,
+	"randk":  core.StrategyRandK,
+	"randi":  core.StrategyRandI,
+	"randw":  core.StrategyRandW,
+	"prop1":  core.StrategyProp1,
+}
+
+// runFpplaceBatch places the same spec on every input file as one gang
+// through core.PlaceBatch. Results per graph are bit-identical to a solo
+// fpplace run on that file; only scheduling is shared.
+func runFpplaceBatch(inputs []string, k int, algo, engine string, source int, seed int64, procs int, quiet bool, stdout, stderr io.Writer) error {
+	strat, ok := cliStrategies[algo]
+	if !ok {
+		return fmt.Errorf("fpplace: unknown algorithm %q", algo)
+	}
+	graphs := make([]*graph.Digraph, len(inputs))
+	evs := make([]flow.Evaluator, len(inputs))
+	for i, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+		g, err := graph.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("fpplace: %s: %w", path, err)
+		}
+		sources := []int{}
+		if source >= 0 {
+			sources = []int{source}
+		}
+		m, err := flow.NewModel(g, sources)
+		if err != nil {
+			return fmt.Errorf("fpplace: %s: %w", path, err)
+		}
+		graphs[i] = g
+		switch engine {
+		case "float":
+			evs[i] = flow.NewFloat(m)
+		case "big":
+			evs[i] = flow.NewBig(m)
+		default:
+			return fmt.Errorf("fpplace: unknown engine %q", engine)
+		}
+	}
+	results, err := core.PlaceBatch(context.Background(), evs, k, core.Options{
+		Strategy:    strat,
+		Parallelism: procs,
+		Seed:        seed,
+	})
+	if err != nil {
+		return fmt.Errorf("fpplace: %w", err)
+	}
+	for i, res := range results {
+		g, ev := graphs[i], evs[i]
+		if quiet {
+			for _, v := range res.Filters {
+				fmt.Fprintf(stdout, "%s\t%s\n", inputs[i], g.Label(v))
+			}
+			continue
+		}
+		mask := flow.MaskOf(g.N(), res.Filters)
+		fmt.Fprintf(stdout, "=== %s (%d nodes, %d edges)\n", inputs[i], g.N(), g.M())
+		fmt.Fprintf(stdout, "filters:    %d", len(res.Filters))
+		if len(res.Filters) > 0 {
+			fmt.Fprintf(stdout, " →")
+			for _, v := range res.Filters {
+				fmt.Fprintf(stdout, " %s", g.Label(v))
+			}
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "F(A):       %.6g\n", ev.F(mask))
+		fmt.Fprintf(stdout, "FR(A):      %.4f\n", flow.FR(ev, mask))
+	}
+	fmt.Fprintf(stderr, "fpplace: batch-placed %d graphs (algo %s, k=%d)\n", len(inputs), algo, k)
 	return nil
 }

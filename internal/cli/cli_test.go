@@ -124,6 +124,68 @@ func TestFpplaceFromStdin(t *testing.T) {
 	}
 }
 
+func TestFpplaceBatchMultiFile(t *testing.T) {
+	dir := t.TempDir()
+	diamond := "0 1\n0 2\n1 3\n2 3\n3 4\n"
+	wide := "0 1\n0 2\n0 3\n1 4\n2 4\n3 4\n4 5\n"
+	paths := []string{filepath.Join(dir, "a.edges"), filepath.Join(dir, "b.edges")}
+	for i, text := range []string{diamond, wide} {
+		if err := os.WriteFile(paths[i], []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiet batch output: one "file<TAB>node" line per placed filter,
+	// each graph's placement identical to its solo run (junction nodes 3
+	// and 4 respectively).
+	var out, errw bytes.Buffer
+	err := RunFpplace([]string{"-k", "1", "-algo", "gall", "-q", paths[0], paths[1]},
+		strings.NewReader(""), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(out.String())
+	want := paths[0] + "\t3\n" + paths[1] + "\t4"
+	if got != want {
+		t.Errorf("batch quiet output = %q, want %q", got, want)
+	}
+	if !strings.Contains(errw.String(), "batch-placed 2 graphs") {
+		t.Errorf("missing batch summary: %s", errw.String())
+	}
+
+	// Verbose mode prints one report block per file.
+	out.Reset()
+	errw.Reset()
+	if err := RunFpplace([]string{"-in", paths[0], "-k", "1", paths[1]},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if !strings.Contains(out.String(), "=== "+p) {
+			t.Errorf("verbose batch output missing block for %s:\n%s", p, out.String())
+		}
+	}
+}
+
+func TestFpplaceBatchRejectsSingleFileModes(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "g.edges")
+	if err := os.WriteFile(p, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-acyclic", p, p},
+		{"-impacts", p, p},
+		{"-algo", "tree", p, p},
+		{"-in", "-", p},
+		{p, "-"},
+	} {
+		if err := RunFpplace(args, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted in batch mode", args)
+		}
+	}
+}
+
 func TestFpplaceImpacts(t *testing.T) {
 	edges := "0 1\n0 2\n1 3\n2 3\n3 4\n"
 	var out, errw bytes.Buffer

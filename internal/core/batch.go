@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/sched"
+)
+
+// PlaceBatch places k filters on every evaluator with one gang submission
+// to the process-wide scheduler: each graph's placement runs as a task,
+// and the fine-grained work inside it (level-parallel passes, candidate
+// shards) lands on the same shared workers, so a fleet of hundreds of
+// small c-graphs — the per-venue/per-year subgraphs of a citation corpus,
+// say — amortizes worker startup and keeps every core busy without
+// oversubscribing the host with per-call pools.
+//
+// Each evaluator must be distinct (engines carry private scratch state)
+// and results[i] is bit-for-bit what a solo Place(ctx, evs[i], k, opts)
+// would return — same filters AND same OracleStats — because the gang
+// changes only where work executes, never how it is split or reduced.
+// Randomized strategies give every graph its own rng seeded from
+// opts.Seed, exactly as sequential solo calls would; a shared opts.Rand
+// has no per-graph equivalent and is rejected.
+//
+// On cancellation every sub-placement aborts and PlaceBatch returns
+// ctx.Err(); the results slice is still returned with the per-graph
+// oracle work done up to the abort (filters nil, as for Place). The
+// returned error is the first failing graph's error in index order.
+func PlaceBatch(ctx context.Context, evs []flow.Evaluator, k int, opts Options) ([]Result, error) {
+	if opts.Rand != nil {
+		return nil, fmt.Errorf("core: PlaceBatch needs a per-graph rng; set Options.Seed instead of Options.Rand")
+	}
+	results := make([]Result, len(evs))
+	if len(evs) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(evs))
+	batch := sched.Default().NewBatch()
+	for i := range evs {
+		i := i
+		batch.Go(func() {
+			results[i], errs[i] = Place(ctx, evs[i], k, opts)
+		})
+	}
+	batch.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

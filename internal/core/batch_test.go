@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// batchTestModels builds a fleet of distinct small DAG models.
+func batchTestModels(t testing.TB, count int) []*flow.Model {
+	t.Helper()
+	models := make([]*flow.Model, count)
+	for i := range models {
+		// Vary size and density so sub-placements finish at different
+		// times and the gang actually interleaves.
+		n := 60 + 15*(i%5)
+		models[i] = placeTestModel(t, n, 0.04+0.01*float64(i%3), int64(100+i))
+	}
+	return models
+}
+
+// TestPlaceBatchBitIdentical is the acceptance gate of the batch refactor:
+// PlaceBatch over G graphs must return filter sets AND OracleStats
+// bit-identical to G sequential Place calls, at P = 1, 4 and GOMAXPROCS,
+// on both the float and the exact big-integer engine, across strategies.
+func TestPlaceBatchBitIdentical(t *testing.T) {
+	models := batchTestModels(t, 12)
+	strategies := []Strategy{StrategyGreedyAll, StrategyCELF, StrategyNaive, StrategyGreedyMax, StrategyRandK}
+	engines := map[string]func(*flow.Model) flow.Evaluator{
+		"float": func(m *flow.Model) flow.Evaluator { return flow.NewFloat(m) },
+		"big":   func(m *flow.Model) flow.Evaluator { return flow.NewBig(m) },
+	}
+	for engName, newEv := range engines {
+		for _, strat := range strategies {
+			for _, procs := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				opts := Options{Strategy: strat, Parallelism: procs, Seed: 5}
+
+				// Sequential reference: one solo Place per graph, fresh
+				// evaluators so scratch state cannot leak between runs.
+				want := make([]Result, len(models))
+				for i, m := range models {
+					var err error
+					want[i], err = Place(context.Background(), newEv(m), 8, opts)
+					if err != nil {
+						t.Fatalf("%s/%s P=%d solo graph %d: %v", engName, strat, procs, i, err)
+					}
+				}
+
+				evs := make([]flow.Evaluator, len(models))
+				for i, m := range models {
+					evs[i] = newEv(m)
+				}
+				got, err := PlaceBatch(context.Background(), evs, 8, opts)
+				if err != nil {
+					t.Fatalf("%s/%s P=%d batch: %v", engName, strat, procs, err)
+				}
+				for i := range models {
+					if !reflect.DeepEqual(got[i].Filters, want[i].Filters) {
+						t.Errorf("%s/%s P=%d graph %d: batch filters %v, solo %v",
+							engName, strat, procs, i, got[i].Filters, want[i].Filters)
+					}
+					if got[i].Stats != want[i].Stats {
+						t.Errorf("%s/%s P=%d graph %d: batch stats %+v, solo %+v",
+							engName, strat, procs, i, got[i].Stats, want[i].Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceBatchRejectsSharedRand checks the per-graph-rng contract.
+func TestPlaceBatchRejectsSharedRand(t *testing.T) {
+	m := placeTestModel(t, 30, 0.1, 1)
+	_, err := PlaceBatch(context.Background(), []flow.Evaluator{flow.NewFloat(m)}, 2,
+		Options{Strategy: StrategyRandK, Rand: rand.New(rand.NewSource(1))})
+	if err == nil {
+		t.Fatal("shared Rand accepted")
+	}
+}
+
+// TestPlaceBatchEmpty checks the trivial gang.
+func TestPlaceBatchEmpty(t *testing.T) {
+	res, err := PlaceBatch(context.Background(), nil, 3, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestPlaceBatchCancellation checks a canceled gang aborts every
+// sub-placement, returns ctx.Err, and reports nil filters per graph.
+func TestPlaceBatchCancellation(t *testing.T) {
+	models := batchTestModels(t, 6)
+	evs := make([]flow.Evaluator, len(models))
+	for i, m := range models {
+		evs[i] = flow.NewFloat(m)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PlaceBatch(ctx, evs, 5, Options{Strategy: StrategyGreedyAll, Parallelism: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range res {
+		if r.Filters != nil {
+			t.Errorf("graph %d returned filters %v after cancel", i, r.Filters)
+		}
+	}
+
+	// Mid-flight cancel must also come back promptly.
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := PlaceBatch(ctx, evs, 50, Options{Strategy: StrategyNaive, Parallelism: 2})
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && err != context.Canceled {
+			t.Fatalf("mid-flight: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PlaceBatch did not return after cancellation")
+	}
+}
+
+// TestPlaceBatchConcurrentGangs runs several whole gangs concurrently
+// (run under -race): the shared scheduler must keep every gang's results
+// bit-identical to its solo reference even while competing for workers.
+func TestPlaceBatchConcurrentGangs(t *testing.T) {
+	models := batchTestModels(t, 8)
+	want := make([]Result, len(models))
+	for i, m := range models {
+		var err error
+		want[i], err = Place(context.Background(), flow.NewFloat(m), 6, Options{Strategy: StrategyCELF, Parallelism: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const gangs = 4
+	errc := make(chan error, gangs)
+	for gg := 0; gg < gangs; gg++ {
+		go func() {
+			evs := make([]flow.Evaluator, len(models))
+			for i, m := range models {
+				evs[i] = flow.NewFloat(m)
+			}
+			got, err := PlaceBatch(context.Background(), evs, 6, Options{Strategy: StrategyCELF, Parallelism: 3})
+			if err == nil {
+				for i := range got {
+					if !reflect.DeepEqual(got[i].Filters, want[i].Filters) || got[i].Stats != want[i].Stats {
+						err = context.DeadlineExceeded // any sentinel: mismatch
+					}
+				}
+			}
+			errc <- err
+		}()
+	}
+	for gg := 0; gg < gangs; gg++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("concurrent gang diverged or failed: %v", err)
+		}
+	}
+}

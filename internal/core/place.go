@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/flow"
+	"repro/internal/sched"
 )
 
 // Strategy names a placement algorithm accepted by Place.
@@ -58,14 +58,16 @@ func Strategies() []Strategy {
 type Options struct {
 	// Strategy selects the algorithm; empty means StrategyGreedyAll.
 	Strategy Strategy
-	// Parallelism bounds the worker goroutines evaluating marginal gains
-	// within one greedy round; values ≤ 1 run serially. Results are
-	// bit-for-bit identical to the serial path at any setting: candidate
-	// work is sharded deterministically and reduced with the serial
-	// tie-breaking order. Parallel execution needs the evaluator to
-	// implement flow.Cloner (candidate sharding) or flow.ParallelEvaluator
-	// (level-parallel passes); otherwise the strategy silently runs
-	// serially and Result.Parallelism reports 1.
+	// Parallelism bounds how many shards one greedy round's marginal-gain
+	// evaluation splits into; values ≤ 1 run serially. Shards execute on
+	// the process-wide scheduler (internal/sched), whose worker count —
+	// not this field — bounds actual CPU concurrency. Results are
+	// bit-for-bit identical to the serial path at any setting of either
+	// knob: candidate work is sharded deterministically and reduced with
+	// the serial tie-breaking order. Parallel execution needs the
+	// evaluator to implement flow.Cloner (candidate sharding) or
+	// flow.ParallelEvaluator (level-parallel passes); otherwise the
+	// strategy silently runs serially and Result.Parallelism reports 1.
 	Parallelism int
 	// Seed drives the randomized baselines (ignored elsewhere).
 	Seed int64
@@ -92,10 +94,12 @@ type Result struct {
 
 // Place is the unified placement engine: every algorithm of the paper (and
 // the CELF/naive ablation profiles) behind one entry point with shared
-// context plumbing, oracle accounting and an optional parallel inner loop.
-// It returns ctx.Err() when canceled mid-placement; any goroutines it
-// spawned are joined before it returns, and the returned Result carries
-// no filters but does report the oracle work done up to the abort.
+// context plumbing, oracle accounting and an optional parallel inner loop
+// scheduled on the process-wide worker pool. It returns ctx.Err() when
+// canceled mid-placement; every work unit it submitted to the scheduler
+// is joined before it returns, and the returned Result carries no filters
+// but does report the oracle work done up to the abort. For many graphs
+// at once, PlaceBatch shares the pool across all of them.
 func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result, error) {
 	if opts.Strategy == "" {
 		opts.Strategy = StrategyGreedyAll
@@ -201,7 +205,12 @@ func placeGreedyAll(ctx context.Context, ev flow.Evaluator, k int, opts Options,
 // evalPool shards per-candidate exact gain evaluations Φ(A) − Φ(A∪{v})
 // across cloned evaluators. Gains are bit-for-bit those of the serial
 // loop: every candidate is evaluated by the same arithmetic against the
-// same base, just on a clone's private scratch state.
+// same base, just on a clone's private scratch state. Shards execute as
+// tasks on the process-wide sched.Default pool, so concurrent placements
+// (a PlaceBatch gang, parallel fpd jobs) interleave their oracle work on
+// shared workers instead of spawning goroutines per round. The shard
+// count — and thus the per-shard arithmetic and the CELF batch width —
+// depends only on Options.Parallelism, never on pool size.
 type evalPool struct {
 	root   flow.Evaluator
 	clones []flow.Evaluator
@@ -251,15 +260,17 @@ func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]fl
 	procs := min(len(p.clones), len(cands))
 	chunk := (len(cands) + procs - 1) / procs
 	errs := make([]error, procs)
-	var wg sync.WaitGroup
+	batch := sched.Default().NewBatch()
 	for w := 0; w < procs; w++ {
 		lo, hi := w*chunk, min((w+1)*chunk, len(cands))
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+		w, lo, hi := w, lo, hi
+		batch.Go(func() {
+			// The shard→clone binding is by shard index, not by executing
+			// goroutine, so the arithmetic is identical wherever the
+			// scheduler runs the task.
 			ev, mask := p.clones[w], p.masks[w]
 			copy(mask, filters)
 			for i := lo; i < hi; i++ {
@@ -272,9 +283,9 @@ func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]fl
 				out[i] = base - ev.Phi(mask)
 				mask[v] = false
 			}
-		}(w, lo, hi)
+		})
 	}
-	wg.Wait()
+	batch.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -16,6 +16,9 @@ type BigEngine struct {
 	m        *Model
 	phiEmpty *big.Int
 	maxF     *big.Int
+	// lv caches the topological level decomposition driving the parallel
+	// passes; immutable once built, shared by clones.
+	lv *passLevels
 }
 
 // NewBig builds an exact evaluator for the model. It panics when the model
@@ -44,6 +47,26 @@ func (e *BigEngine) Clone() Evaluator {
 
 var bigOne = big.NewInt(1)
 
+// stepForwardBig computes rec and emit at one node from its in-neighbors,
+// accumulating in the same ascending in-neighbor order everywhere. It is
+// the single per-node kernel shared by the serial and level-parallel
+// passes, so both produce the same exact integers.
+func (e *BigEngine) stepForwardBig(v int, filters []bool, rec, emit []*big.Int) {
+	r := new(big.Int)
+	for _, p := range e.m.g.In(v) {
+		r.Add(r, emit[p])
+	}
+	rec[v] = r
+	switch {
+	case e.m.isSrc[v]:
+		emit[v] = bigOne
+	case filters != nil && filters[v] && r.Cmp(bigOne) > 0:
+		emit[v] = bigOne
+	default:
+		emit[v] = r
+	}
+}
+
 // forwardBig computes rec and emit exactly. Entries of emit may alias
 // entries of rec or bigOne; callers must not mutate them.
 func (e *BigEngine) forwardBig(filters []bool) (rec, emit []*big.Int) {
@@ -51,19 +74,36 @@ func (e *BigEngine) forwardBig(filters []bool) (rec, emit []*big.Int) {
 	rec = make([]*big.Int, g.N())
 	emit = make([]*big.Int, g.N())
 	for _, v := range e.m.topo {
-		r := new(big.Int)
-		for _, p := range g.In(v) {
-			r.Add(r, emit[p])
-		}
-		rec[v] = r
-		switch {
-		case e.m.isSrc[v]:
-			emit[v] = bigOne
-		case filters != nil && filters[v] && r.Cmp(bigOne) > 0:
-			emit[v] = bigOne
-		default:
-			emit[v] = r
-		}
+		e.stepForwardBig(v, filters, rec, emit)
+	}
+	return rec, emit
+}
+
+// levels lazily builds the level decomposition (see FloatEngine.levels for
+// the sharing contract).
+func (e *BigEngine) levels() *passLevels {
+	if e.lv == nil {
+		e.lv = buildPassLevels(e.m)
+	}
+	return e.lv
+}
+
+// forwardBigP is forwardBig with each level's nodes sharded across procs
+// scheduler chunks. A node of a level only reads emit values of earlier
+// levels and writes its own rec/emit slots, so the shards are disjoint;
+// every slot is still produced by stepForwardBig, keeping the integers
+// exactly those of the serial pass.
+func (e *BigEngine) forwardBigP(filters []bool, procs int) (rec, emit []*big.Int) {
+	g := e.m.g
+	rec = make([]*big.Int, g.N())
+	emit = make([]*big.Int, g.N())
+	for _, bucket := range e.levels().fwd {
+		b := bucket
+		parallelFor(len(b), procs, func(lo, hi int) {
+			for _, v := range b[lo:hi] {
+				e.stepForwardBig(v, filters, rec, emit)
+			}
+		})
 	}
 	return rec, emit
 }
@@ -90,23 +130,52 @@ func (e *BigEngine) FBig(filters []bool) *big.Int {
 	return new(big.Int).Sub(e.phiEmpty, e.phiBig(filters))
 }
 
+// stepSuffixBig computes the downstream amplification at one node from
+// its out-neighbors; the per-node kernel shared with the parallel pass.
+func (e *BigEngine) stepSuffixBig(v int, filters []bool, suf []*big.Int) {
+	s := new(big.Int)
+	for _, c := range e.m.g.Out(v) {
+		s.Add(s, bigOne)
+		if filters == nil || !filters[c] {
+			s.Add(s, suf[c])
+		}
+	}
+	suf[v] = s
+}
+
 // suffixBig computes the downstream amplification exactly.
 func (e *BigEngine) suffixBig(filters []bool) []*big.Int {
-	g := e.m.g
-	suf := make([]*big.Int, g.N())
+	suf := make([]*big.Int, e.m.g.N())
 	topo := e.m.topo
 	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		s := new(big.Int)
-		for _, c := range g.Out(v) {
-			s.Add(s, bigOne)
-			if filters == nil || !filters[c] {
-				s.Add(s, suf[c])
-			}
-		}
-		suf[v] = s
+		e.stepSuffixBig(topo[i], filters, suf)
 	}
 	return suf
+}
+
+// suffixBigP is suffixBig with each backward level's nodes sharded across
+// procs scheduler chunks.
+func (e *BigEngine) suffixBigP(filters []bool, procs int) []*big.Int {
+	suf := make([]*big.Int, e.m.g.N())
+	for _, bucket := range e.levels().bwd {
+		b := bucket
+		parallelFor(len(b), procs, func(lo, hi int) {
+			for _, v := range b[lo:hi] {
+				e.stepSuffixBig(v, filters, suf)
+			}
+		})
+	}
+	return suf
+}
+
+// gainAt assembles one node's exact marginal gain from the pass results;
+// zero must be a shared zero-valued big.Int no caller mutates.
+func (e *BigEngine) gainAt(v int, filters []bool, rec, suf []*big.Int, zero *big.Int) *big.Int {
+	if e.m.isSrc[v] || (filters != nil && filters[v]) || rec[v].Sign() == 0 {
+		return zero
+	}
+	excess := new(big.Int).Sub(rec[v], bigOne)
+	return excess.Mul(excess, suf[v])
 }
 
 // impactsBig returns exact marginal gains.
@@ -116,13 +185,24 @@ func (e *BigEngine) impactsBig(filters []bool) []*big.Int {
 	gains := make([]*big.Int, len(rec))
 	zero := new(big.Int)
 	for v := range gains {
-		if e.m.isSrc[v] || (filters != nil && filters[v]) || rec[v].Sign() == 0 {
-			gains[v] = zero
-			continue
-		}
-		excess := new(big.Int).Sub(rec[v], bigOne)
-		gains[v] = excess.Mul(excess, suf[v])
+		gains[v] = e.gainAt(v, filters, rec, suf, zero)
 	}
+	return gains
+}
+
+// impactsBigP is impactsBig with level-parallel passes and a sharded
+// assembly loop. Every integer is produced by the same kernels as the
+// serial path, so the results are exactly equal.
+func (e *BigEngine) impactsBigP(filters []bool, procs int) []*big.Int {
+	rec, _ := e.forwardBigP(filters, procs)
+	suf := e.suffixBigP(filters, procs)
+	gains := make([]*big.Int, len(rec))
+	zero := new(big.Int)
+	parallelFor(len(gains), procs, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			gains[v] = e.gainAt(v, filters, rec, suf, zero)
+		}
+	})
 	return gains
 }
 
@@ -145,12 +225,14 @@ func (e *BigEngine) Impacts(filters []bool) []float64 {
 	return bigsToFloats(e.impactsBig(filters))
 }
 
-// ArgmaxImpact implements Evaluator with exact integer comparisons.
-func (e *BigEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
-	gains := e.impactsBig(filters)
+// argmaxOver scans gains[lo:hi] for the strictly largest positive gain,
+// ties toward the smaller node id — the selection rule shared by the
+// serial scan and each parallel shard.
+func argmaxOver(gains []*big.Int, banned []bool, lo, hi int) (int, *big.Int) {
 	best := -1
 	var bestGain *big.Int
-	for v, gn := range gains {
+	for v := lo; v < hi; v++ {
+		gn := gains[v]
 		if banned != nil && banned[v] {
 			continue
 		}
@@ -161,10 +243,55 @@ func (e *BigEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
 			best, bestGain = v, gn
 		}
 	}
+	return best, bestGain
+}
+
+// ArgmaxImpact implements Evaluator with exact integer comparisons.
+func (e *BigEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
+	best, bestGain := argmaxOver(e.impactsBig(filters), banned, 0, e.m.g.N())
 	if best < 0 {
 		return -1, 0
 	}
 	return best, bigToFloat(bestGain)
+}
+
+// ArgmaxImpactP implements ParallelEvaluator with exact arithmetic: the
+// passes shard by topological level and the scan shards into contiguous
+// node ranges whose local maxima are reduced in ascending order under the
+// same strict-improvement rule as the serial scan, so ties break toward
+// the smaller node id exactly as ArgmaxImpact does.
+func (e *BigEngine) ArgmaxImpactP(filters, banned []bool, procs int) (int, float64) {
+	if procs <= 1 {
+		return e.ArgmaxImpact(filters, banned)
+	}
+	gains := e.impactsBigP(filters, procs)
+	type local struct {
+		v    int
+		gain *big.Int
+	}
+	locals := parallelForChunks(len(gains), procs, func(lo, hi int) local {
+		v, gn := argmaxOver(gains, banned, lo, hi)
+		return local{v, gn}
+	})
+	best := -1
+	var bestGain *big.Int
+	for _, l := range locals {
+		if l.v >= 0 && (bestGain == nil || l.gain.Cmp(bestGain) > 0) {
+			best, bestGain = l.v, l.gain
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bigToFloat(bestGain)
+}
+
+// ImpactsP implements ParallelEvaluator.
+func (e *BigEngine) ImpactsP(filters []bool, procs int) []float64 {
+	if procs <= 1 {
+		return e.Impacts(filters)
+	}
+	return bigsToFloats(e.impactsBigP(filters, procs))
 }
 
 // F implements Evaluator.

@@ -1,6 +1,6 @@
 package flow
 
-import "sync"
+import "repro/internal/sched"
 
 // Parallel evaluation support. Greedy placement is embarrassingly parallel
 // per round — the closed-form gains all derive from one forward and one
@@ -8,14 +8,21 @@ import "sync"
 // topological level: every node of a level depends only on nodes of
 // earlier levels, so a level's nodes can be computed concurrently. Each
 // node is still computed by exactly one goroutine with the same per-node
-// kernel (stepForward/stepSuffix) and the same neighbor iteration order as
-// the serial pass, so parallel results are bit-for-bit identical to serial
-// ones regardless of worker count or shard boundaries.
+// kernel (stepForward/stepSuffix for floats, stepForwardBig/stepSuffixBig
+// for exact integers) and the same neighbor iteration order as the serial
+// pass, so parallel results are bit-for-bit identical to serial ones
+// regardless of worker count or shard boundaries.
+//
+// Execution runs on the process-wide sched.Default pool: the pass
+// machinery only SPLITS work (into the same chunks at any setting) and
+// submits the chunks as one sched batch, so concurrent placements from
+// many graphs interleave on the shared workers instead of spawning
+// goroutines per call.
 
 // Cloner is implemented by evaluators that can duplicate themselves
 // cheaply for concurrent use: the clone shares the immutable Model (and
 // any cached invariants) but owns private scratch state. core.Place uses
-// clones to shard per-candidate gain evaluations across a worker pool.
+// clones to shard per-candidate gain evaluations across the scheduler.
 type Cloner interface {
 	Evaluator
 	// Clone returns an evaluator that may be used concurrently with the
@@ -27,7 +34,9 @@ type Cloner interface {
 // ParallelEvaluator is implemented by evaluators whose passes parallelize
 // internally. The *P methods behave exactly like their serial
 // counterparts — including tie-breaking and floating-point results — using
-// up to procs goroutines; procs ≤ 1 is the serial path.
+// up to procs concurrent chunks; procs ≤ 1 is the serial path. Both
+// FloatEngine and BigEngine implement it (BigEngine with exact integer
+// arithmetic in every kernel).
 type ParallelEvaluator interface {
 	Evaluator
 	// ArgmaxImpactP is ArgmaxImpact with level-parallel passes.
@@ -46,14 +55,11 @@ type passLevels struct {
 	bwd [][]int
 }
 
-// levels lazily builds the level decomposition. It mutates the engine (not
-// the shared Model), so it follows the engine's single-goroutine contract;
-// clones made after the first parallel call share the built decomposition.
-func (e *FloatEngine) levels() *passLevels {
-	if e.lv != nil {
-		return e.lv
-	}
-	g, topo := e.m.g, e.m.topo
+// buildPassLevels computes the decomposition from the model's cached
+// topological order; it depends only on the immutable Model, so engines
+// of either arithmetic share the construction.
+func buildPassLevels(m *Model) *passLevels {
+	g, topo := m.g, m.topo
 	n := g.N()
 	depth := make([]int, n)
 	maxDepth := 0
@@ -93,17 +99,28 @@ func (e *FloatEngine) levels() *passLevels {
 		v := topo[i]
 		bwd[height[v]] = append(bwd[height[v]], v)
 	}
-	e.lv = &passLevels{fwd: fwd, bwd: bwd}
+	return &passLevels{fwd: fwd, bwd: bwd}
+}
+
+// levels lazily builds the level decomposition. It mutates the engine (not
+// the shared Model), so it follows the engine's single-goroutine contract;
+// clones made after the first parallel call share the built decomposition.
+func (e *FloatEngine) levels() *passLevels {
+	if e.lv == nil {
+		e.lv = buildPassLevels(e.m)
+	}
 	return e.lv
 }
 
 // minParallelSpan is the bucket size below which a level runs serially:
-// spawning goroutines costs more than computing a few dozen nodes.
+// scheduling chunks costs more than computing a few dozen nodes.
 const minParallelSpan = 128
 
 // parallelFor splits [0, n) into at most procs contiguous chunks and runs
-// fn on each concurrently, returning when all complete. Small spans run
-// inline.
+// fn on each through the shared scheduler, returning when all complete.
+// Small spans run inline. Chunk boundaries depend only on (n, procs),
+// never on pool size, so any fn whose chunks are independent produces
+// identical results at every setting.
 func parallelFor(n, procs int, fn func(lo, hi int)) {
 	if procs > n {
 		procs = n
@@ -113,16 +130,12 @@ func parallelFor(n, procs int, fn func(lo, hi int)) {
 		return
 	}
 	chunk := (n + procs - 1) / procs
-	var wg sync.WaitGroup
+	b := sched.Default().NewBatch()
 	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		lo, hi := lo, min(lo+chunk, n)
+		b.Go(func() { fn(lo, hi) })
 	}
-	wg.Wait()
+	b.Wait()
 }
 
 // parallelForChunks is parallelFor returning fn's per-chunk results in
@@ -137,21 +150,17 @@ func parallelForChunks[T any](n, procs int, fn func(lo, hi int) T) []T {
 	}
 	chunk := (n + procs - 1) / procs
 	out := make([]T, (n+chunk-1)/chunk)
-	var wg sync.WaitGroup
+	b := sched.Default().NewBatch()
 	for i := range out {
-		lo, hi := i*chunk, min((i+1)*chunk, n)
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			out[i] = fn(lo, hi)
-		}(i, lo, hi)
+		i, lo, hi := i, i*chunk, min((i+1)*chunk, n)
+		b.Go(func() { out[i] = fn(lo, hi) })
 	}
-	wg.Wait()
+	b.Wait()
 	return out
 }
 
 // forwardIntoP is forwardInto with each level's nodes sharded across
-// procs goroutines.
+// procs scheduler chunks.
 func (e *FloatEngine) forwardIntoP(filters []bool, rec, emit []float64, procs int) {
 	for _, bucket := range e.levels().fwd {
 		b := bucket
@@ -164,7 +173,7 @@ func (e *FloatEngine) forwardIntoP(filters []bool, rec, emit []float64, procs in
 }
 
 // suffixIntoP is suffixInto with each backward level's nodes sharded
-// across procs goroutines.
+// across procs scheduler chunks.
 func (e *FloatEngine) suffixIntoP(filters []bool, suf []float64, procs int) {
 	for _, bucket := range e.levels().bwd {
 		b := bucket

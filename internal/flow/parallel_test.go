@@ -142,6 +142,67 @@ func TestParallelPassesBitIdentical(t *testing.T) {
 	}
 }
 
+// TestBigParallelPassesBitIdentical checks the exact engine's
+// level-parallel passes: ArgmaxImpactP and ImpactsP must reproduce the
+// serial big-integer results exactly (same filters chosen, same float
+// projections) across worker counts and evolving filter sets. Deep graphs
+// make the path counts overflow float64 precision, so this also exercises
+// selections only exact arithmetic gets right.
+func TestBigParallelPassesBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		m := randomDAGModel(t, 300, 0.04, seed)
+		e := NewBig(m)
+		filters := make([]bool, m.N())
+		for round := 0; round < 5; round++ {
+			wantGains := e.Impacts(filters)
+			wantV, wantG := e.ArgmaxImpact(filters, filters)
+			for _, procs := range []int{1, 2, 4, runtime.GOMAXPROCS(0) + 3} {
+				gains := e.ImpactsP(filters, procs)
+				for v := range gains {
+					if gains[v] != wantGains[v] {
+						t.Fatalf("seed %d procs %d: ImpactsP[%d] = %v, serial %v", seed, procs, v, gains[v], wantGains[v])
+					}
+				}
+				v, g := e.ArgmaxImpactP(filters, filters, procs)
+				if v != wantV || g != wantG {
+					t.Fatalf("seed %d procs %d: ArgmaxImpactP (%d,%v), serial (%d,%v)", seed, procs, v, g, wantV, wantG)
+				}
+			}
+			if wantV < 0 {
+				break
+			}
+			filters[wantV] = true
+		}
+	}
+}
+
+// TestBigParallelExactIntegers pins the parallel exact pass at the integer
+// level (not just the float projection): rec, emit and suffix from the
+// sharded passes must Cmp-equal the serial ones on a graph deep enough
+// that float64 would round.
+func TestBigParallelExactIntegers(t *testing.T) {
+	m := randomDAGModel(t, 400, 0.05, 7)
+	e := NewBig(m)
+	filters := make([]bool, m.N())
+	for v := 0; v < m.N(); v += 9 {
+		if !m.IsSource(v) {
+			filters[v] = true
+		}
+	}
+	serialRec, serialEmit := e.forwardBig(filters)
+	serialSuf := e.suffixBig(filters)
+	for _, procs := range []int{2, 5} {
+		rec, emit := e.forwardBigP(filters, procs)
+		suf := e.suffixBigP(filters, procs)
+		for v := range rec {
+			if rec[v].Cmp(serialRec[v]) != 0 || emit[v].Cmp(serialEmit[v]) != 0 || suf[v].Cmp(serialSuf[v]) != 0 {
+				t.Fatalf("procs %d node %d: parallel (%v,%v,%v) != serial (%v,%v,%v)",
+					procs, v, rec[v], emit[v], suf[v], serialRec[v], serialEmit[v], serialSuf[v])
+			}
+		}
+	}
+}
+
 // TestIncrementalClone checks an Incremental clone evolves independently.
 func TestIncrementalClone(t *testing.T) {
 	m := randomDAGModel(t, 80, 0.08, 3)

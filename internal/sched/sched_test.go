@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestZeroWorkerPoolCompletesInline proves the helping invariant: a pool
+// with no workers still completes every batch, entirely on the submitter.
+func TestZeroWorkerPoolCompletesInline(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	var ran atomic.Int64
+	b := p.NewBatch()
+	for i := 0; i < 100; i++ {
+		b.Go(func() { ran.Add(1) })
+	}
+	b.Wait()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran.Load())
+	}
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after Wait", d)
+	}
+}
+
+// TestTasksRunExactlyOnce hammers a small pool with many batches from many
+// submitters and checks no task is lost or double-run (run under -race).
+func TestTasksRunExactlyOnce(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const submitters, tasks = 8, 200
+	var wg sync.WaitGroup
+	counts := make([][]atomic.Int64, submitters)
+	for s := range counts {
+		counts[s] = make([]atomic.Int64, tasks)
+	}
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			b := p.NewBatch()
+			for i := 0; i < tasks; i++ {
+				i := i
+				b.Go(func() { counts[s][i].Add(1) })
+			}
+			b.Wait()
+		}(s)
+	}
+	wg.Wait()
+	for s := range counts {
+		for i := range counts[s] {
+			if got := counts[s][i].Load(); got != 1 {
+				t.Fatalf("submitter %d task %d ran %d times", s, i, got)
+			}
+		}
+	}
+}
+
+// TestNestedBatches checks a task may itself submit and wait on an inner
+// batch on the same pool without deadlock — the shape PlaceBatch creates
+// (sub-placement tasks whose gain evaluations are inner batches).
+func TestNestedBatches(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Int64
+	outer := p.NewBatch()
+	for i := 0; i < 6; i++ {
+		outer.Go(func() {
+			inner := p.NewBatch()
+			for j := 0; j < 10; j++ {
+				inner.Go(func() { ran.Add(1) })
+			}
+			inner.Wait()
+		})
+	}
+	done := make(chan struct{})
+	go func() { outer.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested batches deadlocked")
+	}
+	if ran.Load() != 60 {
+		t.Fatalf("ran %d inner tasks, want 60", ran.Load())
+	}
+}
+
+// TestRoundRobinFairness checks a small batch is not starved behind a big
+// one: with one worker and the big batch's submitter parked (not helping
+// yet), the worker must alternate between batches, so the small batch
+// finishes while most of the big one is still queued.
+func TestRoundRobinFairness(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	var bigDoneBeforeSmall atomic.Int64
+	gate := make(chan struct{}) // holds the worker until both batches queue
+	big := p.NewBatch()
+	big.Go(func() { <-gate }) // first big task parks the lone worker
+	const bigTasks = 100
+	for i := 1; i < bigTasks; i++ {
+		big.Go(func() { bigDoneBeforeSmall.Add(1) })
+	}
+	small := p.NewBatch()
+	smallDone := make(chan int64, 1)
+	small.Go(func() { smallDone <- bigDoneBeforeSmall.Load() })
+
+	close(gate)
+	// Drain both batches from separate goroutines so neither submitter
+	// helps its own batch faster than the worker round-robins.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); big.Wait() }()
+	go func() { defer wg.Done(); small.Wait() }()
+	wg.Wait()
+
+	if ahead := <-smallDone; ahead > bigTasks/2 {
+		t.Fatalf("small batch waited behind %d of %d big tasks — not fair", ahead, bigTasks)
+	}
+}
+
+// TestResizeGrowShrink checks workers can be added and retired live, and
+// that a shrink to zero still lets batches complete via helping.
+func TestResizeGrowShrink(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	p.Resize(4)
+	if w := p.Workers(); w != 4 {
+		t.Fatalf("workers = %d, want 4", w)
+	}
+	p.Resize(0)
+	// Retired workers park in cond.Wait until signaled; submit work to
+	// flush them out and prove helping still completes it.
+	var ran atomic.Int64
+	b := p.NewBatch()
+	for i := 0; i < 50; i++ {
+		b.Go(func() { ran.Add(1) })
+	}
+	b.Wait()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d, want 50", ran.Load())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p.mu.Lock()
+		live := p.live
+		p.mu.Unlock()
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers still live after Resize(0)", live)
+		}
+		p.cond.Broadcast()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseRetiresWorkers checks Close stops the pool goroutines and that
+// batches submitted after Close still complete inline.
+func TestCloseRetiresWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(8)
+	p.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers leaked: %d goroutines, started at %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Int64
+	b := p.NewBatch()
+	b.Go(func() { ran.Add(1) })
+	b.Wait()
+	if ran.Load() != 1 {
+		t.Fatal("batch on closed pool did not run inline")
+	}
+}
+
+// TestDefaultPoolSingleton checks Default returns one shared pool and
+// SetDefaultWorkers resizes it.
+func TestDefaultPoolSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default not a singleton")
+	}
+	old := Default().Workers()
+	SetDefaultWorkers(old + 2)
+	if got := Default().Workers(); got != old+2 {
+		t.Fatalf("workers = %d, want %d", got, old+2)
+	}
+	SetDefaultWorkers(0) // reset to GOMAXPROCS
+	if got := Default().Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("reset workers = %d, want GOMAXPROCS", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/flow"
+	"repro/internal/sched"
 )
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -263,11 +264,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics is GET /metrics. The counter snapshot is augmented with
-// two sampled gauges: the job-queue depth (auto-maintain backlog) and the
-// placement-cache population.
+// sampled gauges: the job-queue depth (auto-maintain backlog), the
+// placement-cache population, and the shared scheduler's queue depth and
+// worker count.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.JobQueueDepth = int64(s.jobs.QueueDepth())
 	snap.CacheEntries = int64(s.cache.len())
+	snap.SchedQueueDepth = int64(sched.Default().QueueDepth())
+	snap.SchedWorkers = int64(sched.Default().Workers())
 	s.writeJSON(w, http.StatusOK, snap)
 }

@@ -34,16 +34,19 @@ var ErrClosed = errors.New("server: job engine closed")
 
 // JobInfo is the JSON view of a job served by GET /v1/jobs/{id}.
 type JobInfo struct {
-	ID        string       `json:"id"`
-	GraphID   string       `json:"graph_id"`
-	Spec      PlaceSpec    `json:"spec"`
-	State     JobState     `json:"state"`
-	Error     string       `json:"error,omitempty"`
-	Result    *PlaceResult `json:"result,omitempty"`
-	Created   time.Time    `json:"created_at"`
-	Started   *time.Time   `json:"started_at,omitempty"`
-	Finished  *time.Time   `json:"finished_at,omitempty"`
-	ElapsedMS int64        `json:"elapsed_ms,omitempty"`
+	ID      string       `json:"id"`
+	GraphID string       `json:"graph_id"`
+	Spec    PlaceSpec    `json:"spec"`
+	State   JobState     `json:"state"`
+	Error   string       `json:"error,omitempty"`
+	Result  *PlaceResult `json:"result,omitempty"`
+	// Batch holds the per-graph sub-placements of a gang-submitted batch
+	// job, in canonical (sorted) graph order; nil for ordinary jobs.
+	Batch     []BatchItem `json:"batch,omitempty"`
+	Created   time.Time   `json:"created_at"`
+	Started   *time.Time  `json:"started_at,omitempty"`
+	Finished  *time.Time  `json:"finished_at,omitempty"`
+	ElapsedMS int64       `json:"elapsed_ms,omitempty"`
 }
 
 // job is the engine-internal record; every field after construction is
@@ -56,8 +59,11 @@ type job struct {
 	model   *flow.Model
 	key     string
 	// runFn, when set, replaces the standard spec execution — the
-	// auto-maintain job kind runs through it.
+	// auto-maintain and batch job kinds run through it.
 	runFn func(context.Context) (*PlaceResult, error)
+	// batch, when set, tracks the per-graph sub-placements of a gang job;
+	// it has its own mutex and is safe to snapshot under the engine lock.
+	batch *batchState
 
 	state    JobState
 	result   *PlaceResult
@@ -141,6 +147,15 @@ func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, fn fu
 	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, runFn: fn})
 }
 
+// SubmitBatch enqueues a gang job: one record whose closure runs a whole
+// multi-graph placement and whose per-graph progress is tracked in bs
+// (surfaced as JobInfo.Batch). key dedups identical in-flight gangs; the
+// closure populates per-graph cache entries itself, so the job-level
+// result stays nil.
+func (e *JobEngine) SubmitBatch(graphID string, spec PlaceSpec, key string, bs *batchState, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
+	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, batch: bs, runFn: fn})
+}
+
 // enqueue assigns the job id and runs the shared admission bookkeeping:
 // closed check, in-flight dedup by cache key, bounded queue push with id
 // rollback on rejection.
@@ -175,6 +190,9 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	info := e.infoLocked(j)
 	e.mu.Unlock()
 	e.metrics.JobsSubmitted.Add(1)
+	if j.batch != nil {
+		e.metrics.BatchesSubmitted.Add(1)
+	}
 	return info, nil
 }
 
@@ -188,6 +206,22 @@ func (e *JobEngine) worker() {
 		e.mu.Lock()
 		if j.state != JobQueued { // canceled while waiting
 			e.mu.Unlock()
+			continue
+		}
+		if e.baseCtx.Err() != nil {
+			// The engine is closing: don't start the job at all. Running
+			// it with a pre-canceled context would still pay evaluator
+			// construction (full Φ passes on a large graph) per queued
+			// job, stalling Close behind the whole backlog.
+			j.state = JobCanceled
+			j.finished = time.Now().UTC()
+			if j.batch != nil {
+				j.batch.cancelPending()
+			}
+			e.retireLocked(j)
+			e.mu.Unlock()
+			e.metrics.JobsCanceled.Add(1)
+			close(j.done)
 			continue
 		}
 		ctx, cancel := context.WithCancel(e.baseCtx)
@@ -260,6 +294,9 @@ func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
 	case JobQueued:
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
+		if j.batch != nil {
+			j.batch.cancelPending()
+		}
 		e.metrics.JobsCanceled.Add(1)
 		e.retireLocked(j)
 		close(j.done)
@@ -352,6 +389,11 @@ func (e *JobEngine) infoLocked(j *job) JobInfo {
 		Error:   j.errMsg,
 		Result:  j.result,
 		Created: j.created,
+	}
+	if j.batch != nil {
+		// batchState has its own mutex and never acquires the engine's,
+		// so snapshotting under the engine lock cannot deadlock.
+		info.Batch = j.batch.snapshot()
 	}
 	if !j.started.IsZero() {
 		t := j.started

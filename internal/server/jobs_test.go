@@ -3,6 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -156,6 +160,120 @@ func TestEngineCloseCancelsRunning(t *testing.T) {
 		t.Errorf("submit after close: err = %v, want ErrClosed", err)
 	}
 	e.Close() // idempotent
+}
+
+// TestCloseRacesSubmitAndCancel is the shutdown-race regression test (run
+// under -race): Close concurrent with a storm of SubmitFunc and Cancel
+// calls must leave every accepted job in a terminal state, reject late
+// submissions with ErrClosed, and leak no goroutines. It also pins the
+// fast-cancel path: jobs still queued at Close are canceled WITHOUT
+// running, so Close is not stalled behind the backlog.
+func TestCloseRacesSubmitAndCancel(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		before := runtime.NumGoroutine()
+		e, _ := newTestEngine(2, 32)
+		var (
+			mu  sync.Mutex
+			ids []string
+		)
+		slow := func(ctx context.Context) (*PlaceResult, error) {
+			select {
+			case <-time.After(100 * time.Millisecond):
+				return &PlaceResult{Filters: []int{1}}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 16; i++ {
+					info, err := e.SubmitFunc("g1", PlaceSpec{K: 1},
+						fmt.Sprintf("key-%d-%d", g, i), slow)
+					if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					mu.Lock()
+					ids = append(ids, info.ID)
+					mu.Unlock()
+					if i%3 == 0 {
+						e.Cancel(info.ID)
+					}
+				}
+			}(g)
+		}
+		closed := make(chan struct{})
+		go func() {
+			time.Sleep(time.Duration(round) * time.Millisecond)
+			e.Close()
+			close(closed)
+		}()
+		wg.Wait()
+		<-closed
+
+		mu.Lock()
+		for _, id := range ids {
+			info, ok := e.Get(id)
+			if !ok {
+				continue // pruned — only terminal jobs are
+			}
+			if !info.State.Terminal() {
+				t.Fatalf("round %d: job %s stuck in %s after Close", round, id, info.State)
+			}
+		}
+		mu.Unlock()
+
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: goroutines leaked: %d, started with %d",
+					round, runtime.NumGoroutine(), before)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestCloseDoesNotRunQueuedBacklog checks the Close fast path directly: a
+// deep queue behind a parked worker must reach canceled without any of
+// the queued closures executing.
+func TestCloseDoesNotRunQueuedBacklog(t *testing.T) {
+	e, _ := newTestEngine(1, 16)
+	release := make(chan struct{})
+	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "running", blockingFn(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, running.ID, JobRunning)
+	var ran atomic.Int64
+	var queued []string
+	for i := 0; i < 16; i++ {
+		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, fmt.Sprintf("q%d", i),
+			func(ctx context.Context) (*PlaceResult, error) {
+				ran.Add(1)
+				return nil, ctx.Err()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, info.ID)
+	}
+	e.Close() // cancels the running job; queued ones must not execute
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d queued closures ran during Close", got)
+	}
+	for _, id := range queued {
+		if info, ok := e.Get(id); ok && info.State != JobCanceled {
+			t.Errorf("queued job %s ended %s, want canceled", id, info.State)
+		}
+	}
+	close(release)
 }
 
 func TestResultCacheEvictionAndOverwrite(t *testing.T) {

@@ -36,6 +36,11 @@ type Metrics struct {
 	// OracleEvaluations counts single-node marginal-gain computations
 	// spent across all placements (core.OracleStats.GainEvaluations).
 	OracleEvaluations atomic.Int64
+	// BatchesSubmitted counts gang-submitted batch placement jobs.
+	BatchesSubmitted atomic.Int64
+	// BatchGraphsInflight is a gauge of batch sub-placements currently
+	// executing on the shared scheduler.
+	BatchGraphsInflight atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -68,6 +73,14 @@ type MetricsSnapshot struct {
 	CacheEntries       int64 `json:"cache_entries"`
 	PlaceWorkersBusy   int64 `json:"place_workers_busy"`
 	OracleEvaluations  int64 `json:"oracle_evaluations"`
+	BatchesSubmitted   int64 `json:"batches_submitted"`
+	// BatchGraphsInflight counts batch sub-placements running right now;
+	// SchedQueueDepth and SchedWorkers are sampled from the process-wide
+	// scheduler at snapshot time — queue depth is what an operator
+	// watches to see oracle work pile up behind the shared pool.
+	BatchGraphsInflight int64 `json:"batch_graphs_inflight"`
+	SchedQueueDepth     int64 `json:"sched_queue_depth"`
+	SchedWorkers        int64 `json:"sched_workers"`
 }
 
 // Snapshot copies every counter.
@@ -94,7 +107,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheHits:          m.CacheHits.Load(),
 		CacheMisses:        m.CacheMisses.Load(),
 		CacheInvalidations: m.CacheInvalidations.Load(),
-		PlaceWorkersBusy:   m.PlaceWorkersBusy.Load(),
-		OracleEvaluations:  m.OracleEvaluations.Load(),
+		PlaceWorkersBusy:    m.PlaceWorkersBusy.Load(),
+		OracleEvaluations:   m.OracleEvaluations.Load(),
+		BatchesSubmitted:    m.BatchesSubmitted.Load(),
+		BatchGraphsInflight: m.BatchGraphsInflight.Load(),
 	}
 }

@@ -12,7 +12,9 @@
 //     worker pool with queued/running/done/failed/canceled states,
 //     context-based cancellation, and an LRU result cache keyed by
 //     (graph, sources, algorithm, k, engine, seed) so repeated queries
-//     are O(1).
+//     are O(1). A gang-submitted batch (POST /v1/placements:batch) is
+//     ONE job whose sub-placements run on the process-wide internal/sched
+//     scheduler with per-graph state, filling per-graph cache slots.
 //   - The HTTP API itself — see Routes for the endpoint list.
 //
 // Everything is stdlib-only; cmd/fpd wires the server to flags, logging
@@ -24,6 +26,8 @@ import (
 	"net/http"
 	"runtime"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Config sizes the server. Zero values pick the documented defaults.
@@ -47,6 +51,12 @@ type Config struct {
 	// (default GOMAXPROCS); requests asking for more are clamped. It also
 	// sets the parallelism of auto-maintain recompute fallbacks.
 	MaxParallelism int
+	// SchedWorkers resizes the PROCESS-WIDE placement scheduler (the fpd
+	// -sched-workers flag): the bounded pool every placement's oracle
+	// work — solo, batch or auto-maintain — executes on. 0 leaves the
+	// pool at its default (GOMAXPROCS). Unlike the other knobs it is
+	// global, not per-Server.
+	SchedWorkers int
 	// Logger receives request and lifecycle logs; nil disables logging.
 	Logger *log.Logger
 }
@@ -92,6 +102,9 @@ type Server struct {
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.SchedWorkers > 0 {
+		sched.SetDefaultWorkers(cfg.SchedWorkers)
+	}
 	m := &Metrics{}
 	cache := newResultCache(cfg.CacheSize, m)
 	s := &Server{
@@ -120,6 +133,7 @@ func (s *Server) Routes() map[string]http.HandlerFunc {
 		"DELETE /v1/graphs/{id}":       s.handleDeleteGraph,
 		"PATCH /v1/graphs/{id}/edges":  s.handlePatchEdges,
 		"POST /v1/graphs/{id}/place":   s.handlePlace,
+		"POST /v1/placements:batch":    s.handlePlaceBatch,
 		"GET /v1/graphs/{id}/evaluate": s.handleEvaluate,
 		"GET /v1/jobs":                 s.handleListJobs,
 		"GET /v1/jobs/{id}":            s.handleGetJob,
