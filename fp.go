@@ -146,6 +146,17 @@ func NewModel(g *Graph, sources []int) (*Model, error) { return flow.NewModel(g,
 // NewFloat builds the fast float64 evaluator (supports WithWeights models).
 func NewFloat(m *Model) Evaluator { return flow.NewFloat(m) }
 
+// Plan is a model's immutable, level-packed execution plan: the shared
+// iteration order, re-indexed CSR and scratch arena every engine's passes
+// run over (see the internal/flow package docs).
+type Plan = flow.Plan
+
+// PlanOf returns (building on first use) the model's execution plan.
+// Useful for capacity planning: Plan.Levels is the critical-path length of
+// a level-parallel pass and Plan.MaxWidth the parallelism available at the
+// widest step.
+func PlanOf(m *Model) *Plan { return m.Plan() }
+
 // NewBig builds the exact big-integer evaluator for deterministic models.
 func NewBig(m *Model) Evaluator { return flow.NewBig(m) }
 

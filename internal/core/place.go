@@ -215,6 +215,11 @@ type evalPool struct {
 	root   flow.Evaluator
 	clones []flow.Evaluator
 	masks  [][]bool
+	// plan is the arena the masks were borrowed from (nil when serial).
+	plan *flow.Plan
+	// gainsBuf backs the slice gains returns; reused across rounds, so a
+	// result is only valid until the next gains call.
+	gainsBuf []float64
 }
 
 func newEvalPool(ev flow.Evaluator, procs int) *evalPool {
@@ -223,10 +228,10 @@ func newEvalPool(ev flow.Evaluator, procs int) *evalPool {
 	if !ok || procs <= 1 {
 		return p
 	}
-	n := ev.Model().N()
+	p.plan = ev.Model().Plan()
 	for i := 0; i < procs; i++ {
 		p.clones = append(p.clones, c.Clone())
-		p.masks = append(p.masks, make([]bool, n))
+		p.masks = append(p.masks, p.plan.GetMask())
 	}
 	return p
 }
@@ -236,12 +241,34 @@ func (p *evalPool) width() int {
 	return max(len(p.clones), 1)
 }
 
+// close returns the pool's borrowed arenas — the per-shard candidate
+// masks and every clone's scratch — to the plan pool, so back-to-back
+// placements on one graph reuse memory instead of re-allocating O(N)
+// state per call. The caller's root evaluator is left untouched: its
+// arena stays borrowed for the engine's own lifetime.
+func (p *evalPool) close() {
+	for _, mask := range p.masks {
+		p.plan.PutMask(mask)
+	}
+	p.masks = nil
+	for _, c := range p.clones {
+		if r, ok := c.(flow.ScratchReleaser); ok {
+			r.ReleaseScratch()
+		}
+	}
+	p.clones = nil
+}
+
 // gains returns gain[i] = Φ(A) − Φ(A ∪ {cands[i]}) for the current filter
 // mask. The mask is only toggled one candidate at a time and restored, on
 // the caller's slice when serial and on private copies when parallel.
-// On cancellation it returns ctx.Err() after joining every worker.
+// The returned slice aliases a reusable buffer valid until the next gains
+// call. On cancellation it returns ctx.Err() after joining every worker.
 func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]float64, error) {
-	out := make([]float64, len(cands))
+	if cap(p.gainsBuf) < len(cands) {
+		p.gainsBuf = make([]float64, len(cands))
+	}
+	out := p.gainsBuf[:len(cands)]
 	if len(cands) == 0 {
 		return out, nil
 	}
@@ -300,6 +327,7 @@ func placeNaive(ctx context.Context, ev flow.Evaluator, k int, opts Options, res
 	m := ev.Model()
 	n := m.N()
 	pool := newEvalPool(ev, opts.Parallelism)
+	defer pool.close()
 	res.Parallelism = pool.width()
 	filters := make([]bool, n)
 	chosen := make([]int, 0, k)
@@ -412,6 +440,7 @@ func placeCELF(ctx context.Context, ev flow.Evaluator, k int, opts Options, res 
 	m := ev.Model()
 	n := m.N()
 	pool := newEvalPool(ev, opts.Parallelism)
+	defer pool.close()
 	res.Parallelism = pool.width()
 	filters := make([]bool, n)
 	chosen := make([]int, 0, k)

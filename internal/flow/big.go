@@ -14,11 +14,9 @@ import (
 // use FloatEngine.
 type BigEngine struct {
 	m        *Model
+	p        *Plan
 	phiEmpty *big.Int
 	maxF     *big.Int
-	// lv caches the topological level decomposition driving the parallel
-	// passes; immutable once built, shared by clones.
-	lv *passLevels
 }
 
 // NewBig builds an exact evaluator for the model. It panics when the model
@@ -27,7 +25,7 @@ func NewBig(m *Model) *BigEngine {
 	if m.Weighted() {
 		panic("flow: BigEngine does not support weighted models")
 	}
-	e := &BigEngine{m: m}
+	e := &BigEngine{m: m, p: m.Plan()}
 	e.phiEmpty = e.phiBig(nil)
 	e.maxF = new(big.Int).Sub(e.phiEmpty, e.phiBig(AllFilters(m)))
 	return e
@@ -67,41 +65,31 @@ func (e *BigEngine) stepForwardBig(v int, filters []bool, rec, emit []*big.Int) 
 	}
 }
 
-// forwardBig computes rec and emit exactly. Entries of emit may alias
-// entries of rec or bigOne; callers must not mutate them.
+// forwardBig computes rec and emit exactly, sweeping the plan's
+// level-packed order (a topological order of the original ids the rec and
+// emit slices are indexed by). Entries of emit may alias entries of rec or
+// bigOne; callers must not mutate them.
 func (e *BigEngine) forwardBig(filters []bool) (rec, emit []*big.Int) {
-	g := e.m.g
-	rec = make([]*big.Int, g.N())
-	emit = make([]*big.Int, g.N())
-	for _, v := range e.m.topo {
-		e.stepForwardBig(v, filters, rec, emit)
+	rec = make([]*big.Int, e.m.g.N())
+	emit = make([]*big.Int, e.m.g.N())
+	for _, v := range e.p.perm {
+		e.stepForwardBig(int(v), filters, rec, emit)
 	}
 	return rec, emit
 }
 
-// levels lazily builds the level decomposition (see FloatEngine.levels for
-// the sharing contract).
-func (e *BigEngine) levels() *passLevels {
-	if e.lv == nil {
-		e.lv = buildPassLevels(e.m)
-	}
-	return e.lv
-}
-
-// forwardBigP is forwardBig with each level's nodes sharded across procs
-// scheduler chunks. A node of a level only reads emit values of earlier
-// levels and writes its own rec/emit slots, so the shards are disjoint;
-// every slot is still produced by stepForwardBig, keeping the integers
-// exactly those of the serial pass.
+// forwardBigP is forwardBig with each plan level's nodes sharded across
+// procs scheduler chunks. A node of a level only reads emit values of
+// earlier levels and writes its own rec/emit slots, so the shards are
+// disjoint; every slot is still produced by stepForwardBig, keeping the
+// integers exactly those of the serial pass.
 func (e *BigEngine) forwardBigP(filters []bool, procs int) (rec, emit []*big.Int) {
-	g := e.m.g
-	rec = make([]*big.Int, g.N())
-	emit = make([]*big.Int, g.N())
-	for _, bucket := range e.levels().fwd {
-		b := bucket
-		parallelFor(len(b), procs, func(lo, hi int) {
-			for _, v := range b[lo:hi] {
-				e.stepForwardBig(v, filters, rec, emit)
+	rec = make([]*big.Int, e.m.g.N())
+	emit = make([]*big.Int, e.m.g.N())
+	for l := 0; l < e.p.numLevels(); l++ {
+		e.p.runLevel(l, procs, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.stepForwardBig(int(e.p.perm[i]), filters, rec, emit)
 			}
 		})
 	}
@@ -143,25 +131,26 @@ func (e *BigEngine) stepSuffixBig(v int, filters []bool, suf []*big.Int) {
 	suf[v] = s
 }
 
-// suffixBig computes the downstream amplification exactly.
+// suffixBig computes the downstream amplification exactly, sweeping the
+// plan order in reverse.
 func (e *BigEngine) suffixBig(filters []bool) []*big.Int {
 	suf := make([]*big.Int, e.m.g.N())
-	topo := e.m.topo
-	for i := len(topo) - 1; i >= 0; i-- {
-		e.stepSuffixBig(topo[i], filters, suf)
+	perm := e.p.perm
+	for i := len(perm) - 1; i >= 0; i-- {
+		e.stepSuffixBig(int(perm[i]), filters, suf)
 	}
 	return suf
 }
 
-// suffixBigP is suffixBig with each backward level's nodes sharded across
-// procs scheduler chunks.
+// suffixBigP is suffixBig with each plan level's nodes sharded across
+// procs scheduler chunks, levels descending: out-neighbors always live in
+// strictly later levels, so their suffixes are final when a level runs.
 func (e *BigEngine) suffixBigP(filters []bool, procs int) []*big.Int {
 	suf := make([]*big.Int, e.m.g.N())
-	for _, bucket := range e.levels().bwd {
-		b := bucket
-		parallelFor(len(b), procs, func(lo, hi int) {
-			for _, v := range b[lo:hi] {
-				e.stepSuffixBig(v, filters, suf)
+	for l := e.p.numLevels() - 1; l >= 0; l-- {
+		e.p.runLevel(l, procs, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.stepSuffixBig(int(e.p.perm[i]), filters, suf)
 			}
 		})
 	}

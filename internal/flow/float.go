@@ -8,30 +8,43 @@ import "fmt"
 // for astronomically large counts is immaterial in practice. It is also the
 // only engine that supports the probabilistic (edge-weighted) model.
 //
-// The hot paths (Phi, F, ArgmaxImpact — the inner loop of Greedy_All) reuse
-// internal scratch buffers, so a FloatEngine is not safe for concurrent
-// use. Concurrent callers — the parallel candidate sharding in core.Place —
-// call Clone, which shares the immutable Model and caches but gives each
-// goroutine its own scratch state. Methods returning slices (Received,
-// Suffix, Impacts) always return freshly allocated results.
+// Every pass — serial or level-parallel — executes over the model's shared
+// execution Plan: the flat forwardRange/suffixRange kernels sweep
+// level-packed, plan-indexed buffers sequentially, and per-query results
+// are translated back to original node ids at the boundary. The kernels
+// accumulate each node's neighbors in exactly the pre-plan order, so
+// results are bit-for-bit those of the historical per-node engine (the
+// reference suite in plan_test.go pins this).
+//
+// The hot paths (Phi, F, ArgmaxImpact — the inner loop of Greedy_All)
+// reuse a scratch arena borrowed from the plan's pool, so a FloatEngine is
+// not safe for concurrent use. Concurrent callers — the parallel candidate
+// sharding in core.Place — call Clone, which shares the immutable Model,
+// Plan and cached invariants but borrows its own arena on first use;
+// ReleaseScratch hands the arena back when a clone retires. Methods
+// returning slices (Received, Suffix, Impacts) always return freshly
+// allocated results.
 type FloatEngine struct {
 	m *Model
+	p *Plan
+	// src is the plan-order source mask; immutable, shared by clones.
+	src []bool
 	// phiEmpty caches Φ(∅,V) and maxF caches F(V); both are invariants of
 	// the model.
 	phiEmpty float64
 	maxF     float64
-	// lv caches the topological level decomposition driving the parallel
-	// passes; immutable once built, shared by clones.
-	lv *passLevels
-	// scratch buffers for the zero-allocation hot paths.
-	scratchRec  []float64
-	scratchEmit []float64
-	scratchSuf  []float64
+	// sc is the engine's borrowed scratch arena (nil until first use).
+	sc *floatScratch
 }
 
 // NewFloat builds a float64 evaluator for the model.
 func NewFloat(m *Model) *FloatEngine {
-	e := &FloatEngine{m: m}
+	p := m.Plan()
+	src := make([]bool, p.n)
+	for i, v := range p.perm {
+		src[i] = m.isSrc[v]
+	}
+	e := &FloatEngine{m: m, p: p, src: src}
 	e.phiEmpty = e.phi(nil)
 	e.maxF = e.phiEmpty - e.phi(AllFilters(m))
 	return e
@@ -40,12 +53,23 @@ func NewFloat(m *Model) *FloatEngine {
 // Model implements Evaluator.
 func (e *FloatEngine) Model() *Model { return e.m }
 
-// Clone implements Cloner: the returned engine shares the immutable Model
-// and the cached Φ(∅,V)/F(V) invariants but owns fresh scratch buffers, so
-// it may be used from another goroutine concurrently with the receiver.
-// Cloning is O(1); scratch allocates lazily on first use.
+// Clone implements Cloner: the returned engine shares the immutable Model,
+// Plan and the cached Φ(∅,V)/F(V) invariants but borrows its own scratch
+// arena, so it may be used from another goroutine concurrently with the
+// receiver. Cloning is O(1); scratch is borrowed from the plan pool on
+// first use and returned by ReleaseScratch.
 func (e *FloatEngine) Clone() Evaluator {
-	return &FloatEngine{m: e.m, phiEmpty: e.phiEmpty, maxF: e.maxF, lv: e.lv}
+	return &FloatEngine{m: e.m, p: e.p, src: e.src, phiEmpty: e.phiEmpty, maxF: e.maxF}
+}
+
+// ReleaseScratch implements ScratchReleaser: the engine's borrowed arena
+// goes back to the plan pool. The engine stays usable — the next hot-path
+// call borrows a fresh arena — but must not be released while another
+// goroutine is using it. core.Place releases retiring candidate-shard
+// clones through this.
+func (e *FloatEngine) ReleaseScratch() {
+	e.p.putScratch(e.sc)
+	e.sc = nil
 }
 
 func (e *FloatEngine) weight(u, v int) float64 {
@@ -59,62 +83,30 @@ func (e *FloatEngine) weight(u, v int) float64 {
 	return w
 }
 
-// forward computes rec and emit in topological order into freshly
-// allocated slices. filters may be nil.
-func (e *FloatEngine) forward(filters []bool) (rec, emit []float64) {
-	rec = make([]float64, e.m.g.N())
-	emit = make([]float64, e.m.g.N())
-	e.forwardInto(filters, rec, emit)
-	return rec, emit
+// scratch borrows the engine's arena on first use.
+func (e *FloatEngine) scratch() *floatScratch {
+	if e.sc == nil {
+		e.sc = e.p.getScratch()
+	}
+	return e.sc
 }
 
-// forwardInto runs the forward pass into caller-provided buffers.
-func (e *FloatEngine) forwardInto(filters []bool, rec, emit []float64) {
-	for _, v := range e.m.topo {
-		e.stepForward(v, filters, rec, emit)
+// passes runs the forward (and optionally suffix) pass into the engine's
+// scratch arena and returns it, translating the original-id filter mask
+// into plan order first.
+func (e *FloatEngine) passes(filters []bool, withSuffix bool) *floatScratch {
+	sc := e.scratch()
+	fm := e.p.fillMask(sc.fmask, filters)
+	e.p.forwardRange(e.src, fm, sc.rec, sc.emit, 0, e.p.n)
+	if withSuffix {
+		e.p.suffixRange(fm, sc.suf, 0, e.p.n)
 	}
-}
-
-// stepForward computes rec and emit at one node from its in-neighbors. It
-// is the single per-node kernel shared by the serial and level-parallel
-// passes, so both produce bit-identical floats.
-func (e *FloatEngine) stepForward(v int, filters []bool, rec, emit []float64) {
-	r := 0.0
-	for _, p := range e.m.g.In(v) {
-		r += e.weight(p, v) * emit[p]
-	}
-	rec[v] = r
-	switch {
-	case e.m.isSrc[v]:
-		emit[v] = 1
-	case filters != nil && filters[v] && r > 1:
-		emit[v] = 1
-	default:
-		emit[v] = r
-	}
-}
-
-// ensureScratch sizes the reusable buffers.
-func (e *FloatEngine) ensureScratch() {
-	n := e.m.g.N()
-	if cap(e.scratchRec) < n {
-		e.scratchRec = make([]float64, n)
-		e.scratchEmit = make([]float64, n)
-		e.scratchSuf = make([]float64, n)
-	}
-	e.scratchRec = e.scratchRec[:n]
-	e.scratchEmit = e.scratchEmit[:n]
-	e.scratchSuf = e.scratchSuf[:n]
+	return sc
 }
 
 func (e *FloatEngine) phi(filters []bool) float64 {
-	e.ensureScratch()
-	e.forwardInto(filters, e.scratchRec, e.scratchEmit)
-	total := 0.0
-	for _, r := range e.scratchRec {
-		total += r
-	}
-	return total
+	sc := e.passes(filters, false)
+	return e.p.sumOriginal(sc.rec)
 }
 
 // Phi implements Evaluator.
@@ -127,77 +119,71 @@ func (e *FloatEngine) Phi(filters []bool) float64 {
 
 // Received implements Evaluator.
 func (e *FloatEngine) Received(filters []bool) []float64 {
-	rec, _ := e.forward(filters)
-	return rec
+	sc := e.passes(filters, false)
+	return e.p.scatter(sc.rec)
 }
 
 // Suffix implements Evaluator.
 func (e *FloatEngine) Suffix(filters []bool) []float64 {
-	suf := make([]float64, e.m.g.N())
-	e.suffixInto(filters, suf)
-	return suf
+	sc := e.scratch()
+	fm := e.p.fillMask(sc.fmask, filters)
+	e.p.suffixRange(fm, sc.suf, 0, e.p.n)
+	return e.p.scatter(sc.suf)
 }
 
-// suffixInto runs the backward pass into a caller-provided buffer.
-func (e *FloatEngine) suffixInto(filters []bool, suf []float64) {
-	topo := e.m.topo
-	for i := len(topo) - 1; i >= 0; i-- {
-		e.stepSuffix(topo[i], filters, suf)
-	}
-}
-
-// stepSuffix computes the downstream amplification at one node from its
-// out-neighbors; the per-node kernel shared with the parallel pass.
-func (e *FloatEngine) stepSuffix(v int, filters []bool, suf []float64) {
-	s := 0.0
-	for _, c := range e.m.g.Out(v) {
-		w := e.weight(v, c)
-		if filters != nil && filters[c] {
-			s += w
-		} else {
-			s += w * (1 + suf[c])
+// gainsInto assembles the closed-form marginal gains from plan-indexed
+// pass results into an original-id-indexed slice over [lo, hi).
+func (e *FloatEngine) gainsInto(gains []float64, sc *floatScratch, filters []bool, lo, hi int) {
+	pos := e.p.pos
+	for v := lo; v < hi; v++ {
+		if e.m.isSrc[v] || (filters != nil && filters[v]) {
+			continue
 		}
+		i := pos[v]
+		r := sc.rec[i]
+		excess := r - 1
+		if r < 1 {
+			excess = 0 // emission is unchanged by a filter when rec ≤ 1
+		}
+		gains[v] = excess * sc.suf[i]
 	}
-	suf[v] = s
 }
 
 // Impacts implements Evaluator.
 func (e *FloatEngine) Impacts(filters []bool) []float64 {
-	rec, _ := e.forward(filters)
-	suf := e.Suffix(filters)
-	gains := make([]float64, len(rec))
-	for v := range gains {
-		if e.m.isSrc[v] || (filters != nil && filters[v]) {
-			continue
-		}
-		excess := rec[v] - 1
-		if rec[v] < 1 {
-			excess = 0 // emission is unchanged by a filter when rec ≤ 1
-		}
-		gains[v] = excess * suf[v]
-	}
+	sc := e.passes(filters, true)
+	gains := make([]float64, e.p.n)
+	e.gainsInto(gains, sc, filters, 0, e.p.n)
 	return gains
 }
 
-// ArgmaxImpact implements Evaluator. It is the Greedy_All inner loop and
-// runs allocation-free over the engine's scratch buffers.
-func (e *FloatEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
-	e.ensureScratch()
-	e.forwardInto(filters, e.scratchRec, e.scratchEmit)
-	e.suffixInto(filters, e.scratchSuf)
+// argmaxGains scans original ids [lo, hi) for the strictly largest
+// positive gain, ties toward the smaller node id — the selection rule
+// shared by the serial scan and each parallel shard.
+func (e *FloatEngine) argmaxGains(sc *floatScratch, filters, banned []bool, lo, hi int) (int, float64) {
+	pos := e.p.pos
 	best, bestGain := -1, 0.0
-	for v, r := range e.scratchRec {
+	for v := lo; v < hi; v++ {
 		if banned != nil && banned[v] {
 			continue
 		}
+		i := pos[v]
+		r := sc.rec[i]
 		if e.m.isSrc[v] || (filters != nil && filters[v]) || r <= 1 {
 			continue
 		}
-		if gn := (r - 1) * e.scratchSuf[v]; gn > bestGain {
+		if gn := (r - 1) * sc.suf[i]; gn > bestGain {
 			best, bestGain = v, gn
 		}
 	}
 	return best, bestGain
+}
+
+// ArgmaxImpact implements Evaluator. It is the Greedy_All inner loop and
+// runs allocation-free over the engine's borrowed arena.
+func (e *FloatEngine) ArgmaxImpact(filters, banned []bool) (int, float64) {
+	sc := e.passes(filters, true)
+	return e.argmaxGains(sc, filters, banned, 0, e.p.n)
 }
 
 // F implements Evaluator.

@@ -42,6 +42,7 @@ package flow
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -61,6 +62,16 @@ type Model struct {
 	// weight returns the relay probability of edge (u,v); nil means the
 	// deterministic model (weight 1 everywhere).
 	weight func(u, v int) float64
+	// pc caches the model's execution plan. It is a pointer so the
+	// copy-on-write constructors (WithWeights) can give the copy a fresh
+	// cache without copying a used sync.Once.
+	pc *planCache
+}
+
+// planCache lazily builds and then shares a Model's execution plan.
+type planCache struct {
+	once sync.Once
+	plan *Plan
 }
 
 // NewModel validates and builds a propagation model. sources lists the
@@ -85,7 +96,7 @@ func NewModel(g *graph.Digraph, sources []int) (*Model, error) {
 		}
 		isSrc[s] = true
 	}
-	return &Model{g: g, sources: append([]int(nil), sources...), isSrc: isSrc, topo: topo}, nil
+	return &Model{g: g, sources: append([]int(nil), sources...), isSrc: isSrc, topo: topo, pc: &planCache{}}, nil
 }
 
 // MustModel is NewModel that panics on error, for tests and examples over
@@ -105,7 +116,27 @@ func MustModel(g *graph.Digraph, sources []int) *Model {
 func (m *Model) WithWeights(w func(u, v int) float64) *Model {
 	c := *m
 	c.weight = w
+	c.pc = &planCache{} // weights are baked into the plan; the copy needs its own
 	return &c
+}
+
+// Plan returns the model's execution plan — the level-packed iteration
+// order, re-indexed CSR and scratch arena every engine's passes run over —
+// building it on first use. Plans are immutable and safe to share across
+// engines, clones and goroutines.
+func (m *Model) Plan() *Plan {
+	m.pc.once.Do(func() { m.pc.plan = buildPlan(m) })
+	return m.pc.plan
+}
+
+// checkedWeight returns the relay probability of edge (u,v), validating
+// its range; the plan builder bakes the result into flat per-edge arrays.
+func (m *Model) checkedWeight(u, v int) float64 {
+	w := m.weight(u, v)
+	if w < 0 || w > 1 {
+		panic(fmt.Sprintf("flow: weight(%d,%d) = %v outside [0,1]", u, v, w))
+	}
+	return w
 }
 
 // Graph returns the underlying digraph.

@@ -50,7 +50,13 @@ type Incremental struct {
 	suf     []float64
 
 	inQF, inQB []bool // queue-membership scratch
-	stats      IncStats
+	// ordBuf is the reusable whole-graph sweep order (the dynamic
+	// counterpart of a static plan's level-packed order, rebuilt from the
+	// maintained positions instead of precomputed): Reinit refreshes it in
+	// place, so full re-initializations after drift stop allocating O(N)
+	// per call.
+	ordBuf []int
+	stats  IncStats
 }
 
 // NewIncremental builds the engine and runs one full initialization pass.
@@ -103,7 +109,10 @@ func (e *Incremental) Grow(filterNew bool) {
 // construction and when a consumer lost sync with the view's mutations.
 func (e *Incremental) Reinit() {
 	n := e.g.N()
-	order := make([]int, n)
+	if cap(e.ordBuf) < n {
+		e.ordBuf = make([]int, n)
+	}
+	order := e.ordBuf[:n]
 	for v := 0; v < n; v++ {
 		order[e.g.OrdOf(v)] = v
 	}

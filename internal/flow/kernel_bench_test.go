@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkForwardPass measures one full forward pass (rec/emit over the
+// whole graph) through the plan-backed flat kernel against the pre-plan
+// reference kernel (per-node gather through the original CSR in
+// Model.Topo() order) on the shapes that dominate real placements. The
+// two produce bit-identical floats (TestPlanFloatGolden); the delta is
+// pure iteration-layout signal — level-packed sequential sweeps vs
+// scattered gathers. BENCH_kernel.json records the measured curve.
+func BenchmarkForwardPass(b *testing.B) {
+	shapes := []struct {
+		name string
+		m    *Model
+	}{
+		{"layered-10x100", func() *Model {
+			g, src := gen.Layered(10, 100, 1, 4, 1)
+			return MustModel(g, []int{src})
+		}()},
+		{"twitter-90k", func() *Model {
+			g, root := gen.TwitterLike(1, 1)
+			return MustModel(g, []int{root})
+		}()},
+	}
+	for _, sh := range shapes {
+		ev := NewFloat(sh.m)
+		ref := &refFloat{sh.m}
+		filters := make([]bool, sh.m.N())
+		for i := 0; i < 3; i++ {
+			if v, gain := ev.ArgmaxImpact(filters, filters); v >= 0 && gain > 0 {
+				filters[v] = true
+			}
+		}
+		b.Run(fmt.Sprintf("%s/plan", sh.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ev.phi(filters) <= 0 {
+					b.Fatal("empty pass")
+				}
+			}
+		})
+		// The reference pass reuses preallocated buffers exactly like the
+		// pre-plan engine's scratch, so the delta is layout, not GC.
+		b.Run(fmt.Sprintf("%s/reference", sh.name), func(b *testing.B) {
+			b.ReportAllocs()
+			n := sh.m.N()
+			rec, emit := make([]float64, n), make([]float64, n)
+			for i := 0; i < b.N; i++ {
+				if refPhiInto(ref, filters, rec, emit) <= 0 {
+					b.Fatal("empty pass")
+				}
+			}
+		})
+	}
+}
+
+// refPhiInto is the pre-plan engine's scratch-reusing phi: forward pass in
+// Model.Topo() order into caller buffers, then the original-order sum.
+func refPhiInto(e *refFloat, filters []bool, rec, emit []float64) float64 {
+	for _, v := range e.m.topo {
+		r := 0.0
+		for _, p := range e.m.g.In(v) {
+			r += e.weight(p, v) * emit[p]
+		}
+		rec[v] = r
+		switch {
+		case e.m.isSrc[v]:
+			emit[v] = 1
+		case filters != nil && filters[v] && r > 1:
+			emit[v] = 1
+		default:
+			emit[v] = r
+		}
+	}
+	total := 0.0
+	for _, r := range rec {
+		total += r
+	}
+	return total
+}
+
+// BenchmarkSuffixPass is BenchmarkForwardPass for the backward pass.
+func BenchmarkSuffixPass(b *testing.B) {
+	g, root := gen.TwitterLike(1, 1)
+	m := MustModel(g, []int{root})
+	ev := NewFloat(m)
+	ref := &refFloat{m}
+	b.Run("twitter-90k/plan", func(b *testing.B) {
+		b.ReportAllocs()
+		sc := ev.scratch()
+		fm := ev.p.fillMask(sc.fmask, nil)
+		for i := 0; i < b.N; i++ {
+			ev.p.suffixRange(fm, sc.suf, 0, ev.p.n)
+		}
+	})
+	b.Run("twitter-90k/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		suf := make([]float64, m.N())
+		topo := m.Topo()
+		for i := 0; i < b.N; i++ {
+			for j := len(topo) - 1; j >= 0; j-- {
+				v := topo[j]
+				s := 0.0
+				for _, c := range m.Graph().Out(v) {
+					s += ref.weight(v, c) * (1 + suf[c])
+				}
+				suf[v] = s
+			}
+		}
+	})
+}

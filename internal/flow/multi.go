@@ -69,7 +69,10 @@ func NewMulti(g *graph.Digraph, items []Item) (*MultiEngine, error) {
 		}
 		isSrc := make([]bool, g.N())
 		isSrc[it.Source] = true
-		m := &Model{g: g, sources: []int{it.Source}, isSrc: isSrc, topo: topo}
+		// Item models share the base model's plan cache: the plan is
+		// structural (graph + weights only — source masks live in the
+		// engines), so one plan serves every per-item engine.
+		m := &Model{g: g, sources: []int{it.Source}, isSrc: isSrc, topo: topo, pc: base.pc}
 		me.engines = append(me.engines, NewFloat(m))
 		rate := it.Rate
 		if rate <= 0 {
@@ -95,6 +98,14 @@ func (me *MultiEngine) Clone() Evaluator {
 		c.engines[i] = e.Clone().(*FloatEngine)
 	}
 	return c
+}
+
+// ReleaseScratch implements ScratchReleaser by releasing every per-item
+// engine's borrowed arena.
+func (me *MultiEngine) ReleaseScratch() {
+	for _, e := range me.engines {
+		e.ReleaseScratch()
+	}
 }
 
 // Phi implements Evaluator: the rate-weighted total deliveries across all

@@ -6,12 +6,14 @@ import "repro/internal/sched"
 // per round — the closed-form gains all derive from one forward and one
 // backward topological pass, and the passes themselves decompose by
 // topological level: every node of a level depends only on nodes of
-// earlier levels, so a level's nodes can be computed concurrently. Each
-// node is still computed by exactly one goroutine with the same per-node
-// kernel (stepForward/stepSuffix for floats, stepForwardBig/stepSuffixBig
-// for exact integers) and the same neighbor iteration order as the serial
-// pass, so parallel results are bit-for-bit identical to serial ones
-// regardless of worker count or shard boundaries.
+// earlier levels, so a level's nodes can be computed concurrently. The
+// level structure, the level-packed iteration order and the precomputed
+// chunk boundaries all live in the model's shared Plan; each node is still
+// computed by the same flat kernel (forwardRange/suffixRange for floats,
+// stepForwardBig/stepSuffixBig for exact integers) with the same neighbor
+// accumulation order as the serial pass, so parallel results are
+// bit-for-bit identical to serial ones regardless of worker count or
+// shard boundaries.
 //
 // Execution runs on the process-wide sched.Default pool: the pass
 // machinery only SPLITS work (into the same chunks at any setting) and
@@ -31,6 +33,18 @@ type Cloner interface {
 	Clone() Evaluator
 }
 
+// ScratchReleaser is implemented by evaluators whose working memory is
+// borrowed from a shared arena (the plan's scratch pool). Callers that
+// retire an evaluator — core.Place when its candidate-shard clones finish
+// — call ReleaseScratch so the arena is reused by the next placement
+// instead of re-allocated.
+type ScratchReleaser interface {
+	// ReleaseScratch returns borrowed buffers to their pool. The
+	// evaluator remains usable afterwards (buffers are re-borrowed on
+	// demand) but must be quiescent when called.
+	ReleaseScratch()
+}
+
 // ParallelEvaluator is implemented by evaluators whose passes parallelize
 // internally. The *P methods behave exactly like their serial
 // counterparts — including tie-breaking and floating-point results — using
@@ -45,74 +59,7 @@ type ParallelEvaluator interface {
 	ImpactsP(filters []bool, procs int) []float64
 }
 
-// passLevels is the topological level decomposition of a model's DAG:
-// fwd[d] holds the nodes at forward depth d (all in-neighbors at depths
-// < d), bwd[h] the nodes at backward height h (all out-neighbors at
-// heights < h). Within a bucket nodes appear in topological order, so the
-// decomposition is deterministic.
-type passLevels struct {
-	fwd [][]int
-	bwd [][]int
-}
-
-// buildPassLevels computes the decomposition from the model's cached
-// topological order; it depends only on the immutable Model, so engines
-// of either arithmetic share the construction.
-func buildPassLevels(m *Model) *passLevels {
-	g, topo := m.g, m.topo
-	n := g.N()
-	depth := make([]int, n)
-	maxDepth := 0
-	for _, v := range topo {
-		d := 0
-		for _, p := range g.In(v) {
-			if depth[p]+1 > d {
-				d = depth[p] + 1
-			}
-		}
-		depth[v] = d
-		if d > maxDepth {
-			maxDepth = d
-		}
-	}
-	fwd := make([][]int, maxDepth+1)
-	for _, v := range topo {
-		fwd[depth[v]] = append(fwd[depth[v]], v)
-	}
-	height := make([]int, n)
-	maxHeight := 0
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		h := 0
-		for _, c := range g.Out(v) {
-			if height[c]+1 > h {
-				h = height[c] + 1
-			}
-		}
-		height[v] = h
-		if h > maxHeight {
-			maxHeight = h
-		}
-	}
-	bwd := make([][]int, maxHeight+1)
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		bwd[height[v]] = append(bwd[height[v]], v)
-	}
-	return &passLevels{fwd: fwd, bwd: bwd}
-}
-
-// levels lazily builds the level decomposition. It mutates the engine (not
-// the shared Model), so it follows the engine's single-goroutine contract;
-// clones made after the first parallel call share the built decomposition.
-func (e *FloatEngine) levels() *passLevels {
-	if e.lv == nil {
-		e.lv = buildPassLevels(e.m)
-	}
-	return e.lv
-}
-
-// minParallelSpan is the bucket size below which a level runs serially:
+// minParallelSpan is the span below which a level runs serially:
 // scheduling chunks costs more than computing a few dozen nodes.
 const minParallelSpan = 128
 
@@ -159,62 +106,32 @@ func parallelForChunks[T any](n, procs int, fn func(lo, hi int) T) []T {
 	return out
 }
 
-// forwardIntoP is forwardInto with each level's nodes sharded across
-// procs scheduler chunks.
-func (e *FloatEngine) forwardIntoP(filters []bool, rec, emit []float64, procs int) {
-	for _, bucket := range e.levels().fwd {
-		b := bucket
-		parallelFor(len(b), procs, func(lo, hi int) {
-			for _, v := range b[lo:hi] {
-				e.stepForward(v, filters, rec, emit)
-			}
-		})
-	}
-}
-
-// suffixIntoP is suffixInto with each backward level's nodes sharded
-// across procs scheduler chunks.
-func (e *FloatEngine) suffixIntoP(filters []bool, suf []float64, procs int) {
-	for _, bucket := range e.levels().bwd {
-		b := bucket
-		parallelFor(len(b), procs, func(lo, hi int) {
-			for _, v := range b[lo:hi] {
-				e.stepSuffix(v, filters, suf)
-			}
-		})
-	}
+// passesP is passes with level-parallel plan execution.
+func (e *FloatEngine) passesP(filters []bool, procs int) *floatScratch {
+	sc := e.scratch()
+	fm := e.p.fillMask(sc.fmask, filters)
+	e.p.forwardLevels(e.src, fm, sc.rec, sc.emit, procs)
+	e.p.suffixLevels(fm, sc.suf, procs)
+	return sc
 }
 
 // ArgmaxImpactP implements ParallelEvaluator. The scan shards into
-// contiguous node ranges whose local maxima are reduced in ascending
-// order under the same strict-improvement rule as the serial scan, so
-// ties break toward the smaller node id exactly as ArgmaxImpact does.
+// contiguous original-id ranges whose local maxima are reduced in
+// ascending order under the same strict-improvement rule as the serial
+// scan, so ties break toward the smaller node id exactly as ArgmaxImpact
+// does.
 func (e *FloatEngine) ArgmaxImpactP(filters, banned []bool, procs int) (int, float64) {
 	if procs <= 1 {
 		return e.ArgmaxImpact(filters, banned)
 	}
-	e.ensureScratch()
-	e.forwardIntoP(filters, e.scratchRec, e.scratchEmit, procs)
-	e.suffixIntoP(filters, e.scratchSuf, procs)
+	sc := e.passesP(filters, procs)
 	type local struct {
 		v    int
 		gain float64
 	}
-	locals := parallelForChunks(len(e.scratchRec), procs, func(lo, hi int) local {
-		best, bestGain := -1, 0.0
-		for v := lo; v < hi; v++ {
-			r := e.scratchRec[v]
-			if banned != nil && banned[v] {
-				continue
-			}
-			if e.m.isSrc[v] || (filters != nil && filters[v]) || r <= 1 {
-				continue
-			}
-			if gn := (r - 1) * e.scratchSuf[v]; gn > bestGain {
-				best, bestGain = v, gn
-			}
-		}
-		return local{best, bestGain}
+	locals := parallelForChunks(e.p.n, procs, func(lo, hi int) local {
+		v, gain := e.argmaxGains(sc, filters, banned, lo, hi)
+		return local{v, gain}
 	})
 	best, bestGain := -1, 0.0
 	for _, l := range locals {
@@ -230,24 +147,10 @@ func (e *FloatEngine) ImpactsP(filters []bool, procs int) []float64 {
 	if procs <= 1 {
 		return e.Impacts(filters)
 	}
-	n := e.m.g.N()
-	rec := make([]float64, n)
-	emit := make([]float64, n)
-	suf := make([]float64, n)
-	e.forwardIntoP(filters, rec, emit, procs)
-	e.suffixIntoP(filters, suf, procs)
-	gains := make([]float64, n)
-	parallelFor(n, procs, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if e.m.isSrc[v] || (filters != nil && filters[v]) {
-				continue
-			}
-			excess := rec[v] - 1
-			if rec[v] < 1 {
-				excess = 0 // emission is unchanged by a filter when rec ≤ 1
-			}
-			gains[v] = excess * suf[v]
-		}
+	sc := e.passesP(filters, procs)
+	gains := make([]float64, e.p.n)
+	parallelFor(e.p.n, procs, func(lo, hi int) {
+		e.gainsInto(gains, sc, filters, lo, hi)
 	})
 	return gains
 }

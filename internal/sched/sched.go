@@ -104,6 +104,18 @@ func (p *Pool) Workers() int {
 	return p.target
 }
 
+// ChunkHint returns the chunk count a caller should split one span of
+// level-parallel work into to keep every worker busy without
+// oversplitting: the current target worker count, floored at 1.
+// flow.Plan snapshots it when precomputing per-level chunk boundaries; it
+// is a performance hint only and never affects results.
+func (p *Pool) ChunkHint() int {
+	if w := p.Workers(); w > 1 {
+		return w
+	}
+	return 1
+}
+
 // QueueDepth returns the number of submitted tasks no goroutine has
 // started yet, across all batches — the backlog gauge fpd surfaces in
 // /metrics.

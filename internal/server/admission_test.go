@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gangJob submits a one-graph gang job whose work is fn, mirroring what
+// handlePlaceBatch builds.
+func gangJob(t *testing.T, e *JobEngine, key string, fn func(context.Context) (*PlaceResult, error)) JobInfo {
+	t.Helper()
+	bs := newBatchState([]BatchItem{{GraphID: "g", State: JobQueued}})
+	info, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, key, bs, fn)
+	if err != nil {
+		t.Fatalf("gang submit: %v", err)
+	}
+	return info
+}
+
+// okFn is a job closure that completes immediately.
+func okFn(ctx context.Context) (*PlaceResult, error) {
+	return &PlaceResult{Filters: []int{1}}, nil
+}
+
+// forceProbe installs a controllable saturation probe on the engine.
+func forceProbe(e *JobEngine) *atomic.Bool {
+	var saturated atomic.Bool
+	e.mu.Lock()
+	e.satProbe = func() bool { return saturated.Load() }
+	e.mu.Unlock()
+	return &saturated
+}
+
+// TestGangDeferredWhenSchedSaturated pins the ROADMAP behavior: a gang
+// job arriving while the shared scheduler is saturated is parked (202,
+// state queued) instead of rejected, counted in jobs_deferred, and runs
+// as soon as the scheduler drains.
+func TestGangDeferredWhenSchedSaturated(t *testing.T) {
+	e, metrics := newTestEngine(1, 4)
+	defer e.Close()
+	saturated := forceProbe(e)
+	saturated.Store(true)
+
+	info := gangJob(t, e, "batch|k1", okFn)
+	if info.State != JobQueued {
+		t.Fatalf("deferred gang state %s, want queued", info.State)
+	}
+	if d := e.DeferredDepth(); d != 1 {
+		t.Fatalf("deferred depth %d, want 1", d)
+	}
+	if got := metrics.JobsDeferred.Load(); got != 1 {
+		t.Fatalf("jobs_deferred = %d, want 1", got)
+	}
+	// Saturated: the dispatcher must NOT admit it.
+	time.Sleep(20 * time.Millisecond)
+	if in, _ := e.Get(info.ID); in.State != JobQueued {
+		t.Fatalf("gang advanced to %s while scheduler saturated", in.State)
+	}
+
+	saturated.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done, err := e.Wait(ctx, info.ID)
+	if err != nil || done.State != JobDone {
+		t.Fatalf("deferred gang finished as %s (err %v), want done", done.State, err)
+	}
+}
+
+// TestGangDeferredWhenQueueFull: a full worker queue 503s solo jobs as
+// before, but parks gang jobs.
+func TestGangDeferredWhenQueueFull(t *testing.T) {
+	e, metrics := newTestEngine(1, 1)
+	defer e.Close()
+	release := make(chan struct{})
+
+	// Occupy the single worker, then the single queue slot.
+	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "run", blockingFn(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, running.ID, JobRunning)
+	if _, err := e.SubmitFunc("g2", PlaceSpec{Algorithm: "gall", K: 1}, "queued", blockingFn(release)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Solo: immediate back pressure, exactly as before.
+	if _, err := e.SubmitFunc("g3", PlaceSpec{Algorithm: "gall", K: 1}, "solo", okFn); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("solo on full queue: err %v, want ErrQueueFull", err)
+	}
+	// Gang: parked instead.
+	gang := gangJob(t, e, "batch|k1", okFn)
+	if got := metrics.JobsDeferred.Load(); got != 1 {
+		t.Fatalf("jobs_deferred = %d, want 1", got)
+	}
+
+	// The deferred bound is still a bound: maxDeferred defaults to the
+	// queue depth (1 here), so a second gang is rejected.
+	bs := newBatchState([]BatchItem{{GraphID: "g", State: JobQueued}})
+	if _, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, "batch|k2", bs, okFn); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("gang beyond deferred bound: err %v, want ErrQueueFull", err)
+	}
+	if got := metrics.JobsRejected.Load(); got != 2 {
+		t.Fatalf("jobs_rejected = %d, want 2", got)
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done, err := e.Wait(ctx, gang.ID)
+	if err != nil || done.State != JobDone {
+		t.Fatalf("parked gang finished as %s (err %v), want done", done.State, err)
+	}
+}
+
+// TestDeferredGangsRunOldestFirst: parked gangs are admitted in
+// submission order once the scheduler drains — later arrivals (which
+// also park while older gangs wait, rather than jumping the queue) never
+// overtake.
+func TestDeferredGangsRunOldestFirst(t *testing.T) {
+	e, _ := newTestEngine(1, 8)
+	defer e.Close()
+	saturated := forceProbe(e)
+	saturated.Store(true)
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func(context.Context) (*PlaceResult, error) {
+		return func(ctx context.Context) (*PlaceResult, error) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			return &PlaceResult{Filters: []int{1}}, nil
+		}
+	}
+	a := gangJob(t, e, "batch|a", record("a"))
+	b := gangJob(t, e, "batch|b", record("b"))
+	c := gangJob(t, e, "batch|c", record("c"))
+	if d := e.DeferredDepth(); d != 3 {
+		t.Fatalf("deferred depth %d, want 3", d)
+	}
+	saturated.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range []string{a.ID, b.ID, c.ID} {
+		if done, err := e.Wait(ctx, id); err != nil || done.State != JobDone {
+			t.Fatalf("gang %s: state %s err %v", id, done.State, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("execution order %v, want [a b c]", order)
+	}
+}
+
+// TestCancelDeferredGang: canceling a parked gang terminates it without it
+// ever reaching a worker.
+func TestCancelDeferredGang(t *testing.T) {
+	e, metrics := newTestEngine(1, 4)
+	defer e.Close()
+	saturated := forceProbe(e)
+	saturated.Store(true)
+
+	var ran atomic.Bool
+	info := gangJob(t, e, "batch|k1", func(ctx context.Context) (*PlaceResult, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	canceled, ok := e.Cancel(info.ID)
+	if !ok || canceled.State != JobCanceled {
+		t.Fatalf("cancel deferred: ok=%v state=%s", ok, canceled.State)
+	}
+	for _, item := range canceled.Batch {
+		if item.State != JobCanceled {
+			t.Fatalf("batch item state %s, want canceled", item.State)
+		}
+	}
+	saturated.Store(false)
+	time.Sleep(20 * time.Millisecond) // give the dispatcher a chance to misbehave
+	if ran.Load() {
+		t.Fatal("canceled deferred gang still executed")
+	}
+	if got := metrics.JobsCanceled.Load(); got != 1 {
+		t.Fatalf("jobs_canceled = %d, want 1", got)
+	}
+}
+
+// TestCloseCancelsDeferred: engine shutdown terminates parked gangs as
+// canceled without executing them.
+func TestCloseCancelsDeferred(t *testing.T) {
+	e, _ := newTestEngine(1, 4)
+	saturated := forceProbe(e)
+	saturated.Store(true)
+
+	var ran atomic.Bool
+	info := gangJob(t, e, "batch|k1", func(ctx context.Context) (*PlaceResult, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	e.Close()
+	if ran.Load() {
+		t.Fatal("deferred gang executed during Close")
+	}
+	got, ok := e.Get(info.ID)
+	if !ok || got.State != JobCanceled {
+		t.Fatalf("after Close: ok=%v state=%s, want canceled", ok, got.State)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -148,7 +149,13 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, res)
 		return
 	}
-	job, err := s.jobs.Submit(id, spec, algo, m, key)
+	// The job's work runs through runShared, so a solo job racing a gang
+	// sub-placement (or another solo) on the same per-graph key joins the
+	// in-flight computation instead of duplicating it; runShared also
+	// fills the cache slot.
+	job, err := s.jobs.SubmitFunc(id, spec, key, func(ctx context.Context) (*PlaceResult, error) {
+		return s.runShared(ctx, key, spec, algo, m, id)
+	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.writeError(w, http.StatusServiceUnavailable, "%v; retry later", err)

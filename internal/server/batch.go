@@ -208,18 +208,14 @@ func (s *Server) runBatch(misses []batchMiss, spec PlaceSpec, algo algoSpec, bs 
 					bs.fail(ms.graphID, JobCanceled, err)
 					return
 				}
-				// Re-check the cache at execution time: a solo job or an
-				// overlapping gang may have filled this slot while we sat
-				// queued, and the placement is expensive enough that the
-				// lookup is free by comparison.
-				if res, ok := s.cache.get(ms.key); ok {
-					bs.finish(ms.graphID, res)
-					return
-				}
 				bs.setState(ms.graphID, JobRunning)
 				s.metrics.BatchGraphsInflight.Add(1)
-				sp := spec
-				res, err := sp.execute(ctx, algo, ms.model, ms.graphID, s.metrics)
+				// runShared re-checks the cache (a solo job or an
+				// overlapping gang may have filled this slot while we sat
+				// queued), registers the per-graph key in the flight table
+				// so identical work in flight is joined instead of
+				// duplicated, and fills the cache slot on success.
+				res, err := s.runShared(ctx, ms.key, spec, algo, ms.model, ms.graphID)
 				s.metrics.BatchGraphsInflight.Add(-1)
 				if err != nil {
 					errs[i] = err
@@ -230,7 +226,6 @@ func (s *Server) runBatch(misses []batchMiss, spec PlaceSpec, algo algoSpec, bs 
 					bs.fail(ms.graphID, st, err)
 					return
 				}
-				s.cache.put(ms.key, res)
 				bs.finish(ms.graphID, res)
 			})
 		}

@@ -21,14 +21,25 @@ func newResultCache(capacity int, m *Metrics) *resultCache {
 // get returns a copy of the cached result with Cached set, counting a hit
 // or a miss.
 func (c *resultCache) get(key string) (*PlaceResult, bool) {
+	res, ok := c.peek(key)
+	if ok {
+		c.metrics.CacheHits.Add(1)
+	} else {
+		c.metrics.CacheMisses.Add(1)
+	}
+	return res, ok
+}
+
+// peek is get without touching the hit/miss counters: runShared's
+// execution-time re-check uses it so the metrics keep counting
+// client-visible lookups only, not internal dedup probes.
+func (c *resultCache) peek(key string) (*PlaceResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cached, ok := c.entries.get(key)
 	if !ok {
-		c.metrics.CacheMisses.Add(1)
 		return nil, false
 	}
-	c.metrics.CacheHits.Add(1)
 	res := *cached
 	res.Cached = true
 	return &res, true

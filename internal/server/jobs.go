@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/flow"
+	"repro/internal/sched"
 )
 
 // JobState is the lifecycle of an asynchronous placement job.
@@ -55,11 +55,10 @@ type job struct {
 	id      string
 	graphID string
 	spec    PlaceSpec
-	algo    algoSpec
-	model   *flow.Model
 	key     string
-	// runFn, when set, replaces the standard spec execution — the
-	// auto-maintain and batch job kinds run through it.
+	// runFn is the job's work. Every kind supplies one: solo placements
+	// close over Server.runShared (which owns cache fills and in-flight
+	// dedup), auto-maintain and batch jobs their own closures.
 	runFn func(context.Context) (*PlaceResult, error)
 	// batch, when set, tracks the per-graph sub-placements of a gang job;
 	// it has its own mutex and is safe to snapshot under the engine lock.
@@ -90,9 +89,38 @@ type JobEngine struct {
 	cache   *resultCache
 	metrics *Metrics
 
+	// Scheduler-aware gang admission: a gang (batch) job arriving while
+	// the shared oracle scheduler is saturated — or while the worker
+	// queue is full — is parked in this bounded FIFO instead of being
+	// rejected with 503; the dispatcher goroutine feeds it to the queue
+	// once the scheduler drains. Solo jobs keep the plain bounded-queue
+	// contract (clients poll a single placement and should see back
+	// pressure immediately; gangs represent minutes of fleet work and are
+	// worth queueing for).
+	deferred    []*job
+	maxDeferred int
+	// satProbe reports whether the shared scheduler is saturated; tests
+	// inject their own. Guarded by mu (set before any Submit).
+	satProbe func() bool
+	dispStop chan struct{}
+	dispKick chan struct{} // 1-buffered nudge: a gang was just parked
+	dispWG   sync.WaitGroup
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+}
+
+// schedSaturated is the default saturation probe: the process-wide pool
+// has more unstarted oracle tasks than 4× its workers — adding a gang's
+// worth of sub-placements now would only deepen the backlog.
+func schedSaturated() bool {
+	p := sched.Default()
+	w := p.Workers()
+	if w < 1 {
+		w = 1
+	}
+	return p.QueueDepth() > 4*w
 }
 
 // NewJobEngine starts workers goroutines consuming a queue of queueDepth
@@ -114,35 +142,34 @@ func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metri
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &JobEngine{
-		jobs:       make(map[string]*job),
-		active:     make(map[string]*job),
-		queue:      make(chan *job, queueDepth),
-		maxJobs:    maxJobs,
-		cache:      cache,
-		metrics:    m,
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		jobs:        make(map[string]*job),
+		active:      make(map[string]*job),
+		queue:       make(chan *job, queueDepth),
+		maxJobs:     maxJobs,
+		maxDeferred: queueDepth,
+		satProbe:    schedSaturated,
+		dispStop:    make(chan struct{}),
+		dispKick:    make(chan struct{}, 1),
+		cache:       cache,
+		metrics:     m,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
 	}
+	e.dispWG.Add(1)
+	go e.dispatch()
 	return e
 }
 
-// Submit enqueues a placement job. The model must already be validated
-// against the spec (algo gives the algorithm to run, key the result-cache
-// slot to fill on success). An identical request already queued or running
-// — same cache key — is not duplicated: the existing job is returned, so
+// SubmitFunc enqueues a job whose work is the given closure — solo
+// placements (via Server.runShared) and auto-maintain both submit this
+// way. spec documents the job for listings; key drives in-flight
+// submission dedup: an identical request already queued or running —
+// same cache key — is not duplicated, the existing job is returned, so
 // client retries and concurrent identical queries share one computation.
-func (e *JobEngine) Submit(graphID string, spec PlaceSpec, algo algoSpec, m *flow.Model, key string) (JobInfo, error) {
-	return e.enqueue(&job{graphID: graphID, spec: spec, algo: algo, model: m, key: key})
-}
-
-// SubmitFunc enqueues a custom job — the auto-maintain kind — whose work
-// is the given closure instead of a placement algorithm. spec documents
-// the job for listings and key drives dedup and the result cache exactly
-// as for Submit.
 func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
 	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, runFn: fn})
 }
@@ -176,13 +203,36 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	j.state = JobQueued
 	j.created = time.Now().UTC()
 	j.done = make(chan struct{})
-	select {
-	case e.queue <- j:
-	default:
-		e.nextID-- // slot unused
-		e.mu.Unlock()
-		e.metrics.JobsRejected.Add(1)
-		return JobInfo{}, ErrQueueFull
+	deferredJob := false
+	admit := true
+	// A gang parks when the scheduler is saturated, and also whenever
+	// older gangs are already parked — jumping the deferred queue would
+	// starve them behind a sustained arrival rate.
+	if j.batch != nil && (len(e.deferred) > 0 || e.satProbe()) {
+		admit = false
+	}
+	if admit {
+		select {
+		case e.queue <- j:
+		default:
+			admit = false // queue full
+		}
+	}
+	if !admit {
+		// Gangs get the bounded wait queue; solo jobs keep immediate back
+		// pressure.
+		if j.batch == nil || len(e.deferred) >= e.maxDeferred {
+			e.nextID-- // slot unused
+			e.mu.Unlock()
+			e.metrics.JobsRejected.Add(1)
+			return JobInfo{}, ErrQueueFull
+		}
+		e.deferred = append(e.deferred, j)
+		deferredJob = true
+		select {
+		case e.dispKick <- struct{}{}: // wake the idle dispatcher
+		default:
+		}
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
@@ -190,10 +240,76 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	info := e.infoLocked(j)
 	e.mu.Unlock()
 	e.metrics.JobsSubmitted.Add(1)
+	if deferredJob {
+		e.metrics.JobsDeferred.Add(1)
+	}
 	if j.batch != nil {
 		e.metrics.BatchesSubmitted.Add(1)
 	}
 	return info, nil
+}
+
+// dispatch is the deferred-gang feeder: while gangs are parked it
+// re-probes the shared scheduler every few milliseconds (saturation
+// clearing has no event to wait on) and moves them into the worker
+// queue, oldest first, once the scheduler has drained and a queue slot
+// is free; with nothing parked it sleeps until enqueue kicks it. It
+// stops (leaving any remaining parked jobs to Close's cancellation
+// sweep) when the engine shuts down.
+func (e *JobEngine) dispatch() {
+	defer e.dispWG.Done()
+	for {
+		if e.DeferredDepth() == 0 {
+			select {
+			case <-e.dispStop:
+				return
+			case <-e.dispKick:
+			}
+			continue
+		}
+		tick := time.NewTicker(2 * time.Millisecond)
+		for e.DeferredDepth() > 0 {
+			select {
+			case <-e.dispStop:
+				tick.Stop()
+				return
+			case <-tick.C:
+				e.admitDeferred()
+			}
+		}
+		tick.Stop()
+	}
+}
+
+// admitDeferred drains the front of the deferred queue into the worker
+// queue while the scheduler has room.
+func (e *JobEngine) admitDeferred() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.deferred) > 0 {
+		j := e.deferred[0]
+		if j.state != JobQueued { // canceled while parked
+			e.deferred = e.deferred[1:]
+			continue
+		}
+		if e.satProbe() {
+			return
+		}
+		select {
+		case e.queue <- j:
+			e.deferred = e.deferred[1:]
+		default:
+			return // worker queue still full
+		}
+	}
+}
+
+// DeferredDepth returns the number of gang jobs parked in the admission
+// wait queue.
+func (e *JobEngine) DeferredDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.deferred)
 }
 
 // QueueDepth returns the number of jobs waiting for a worker; surfaced in
@@ -231,15 +347,7 @@ func (e *JobEngine) worker() {
 		e.mu.Unlock()
 
 		e.metrics.JobsRunning.Add(1)
-		var (
-			res *PlaceResult
-			err error
-		)
-		if j.runFn != nil {
-			res, err = j.runFn(ctx)
-		} else {
-			res, err = j.spec.execute(ctx, j.algo, j.model, j.graphID, e.metrics)
-		}
+		res, err := j.runFn(ctx)
 		e.metrics.JobsRunning.Add(-1)
 		cancel()
 
@@ -249,11 +357,11 @@ func (e *JobEngine) worker() {
 		case err == nil:
 			j.state = JobDone
 			j.result = res
-			// Custom (runFn) jobs use version-stamped keys nothing reads
-			// back — caching them would only evict reusable placements.
-			if j.runFn == nil {
-				e.cache.put(j.key, res)
-			}
+			// Caching is the closure's business: solo placements fill
+			// their per-graph slot inside runShared (where in-flight
+			// dedup lives), batch closures fill per-graph slots as
+			// sub-placements complete, and auto-maintain keys are
+			// write-only version stamps nothing reads back.
 			e.metrics.JobsCompleted.Add(1)
 		case errors.Is(err, context.Canceled):
 			j.state = JobCanceled
@@ -307,12 +415,12 @@ func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
 }
 
 // retireLocked releases a terminal job's heavyweight references (the
-// model can be large and may already be evicted from the registry) and
-// prunes the oldest terminal job records beyond the retention bound. The
-// job being retired is never pruned in the same step, so the client that
-// just submitted it always gets at least one successful poll.
+// closure captures the model, which can be large and may already be
+// evicted from the registry) and prunes the oldest terminal job records
+// beyond the retention bound. The job being retired is never pruned in
+// the same step, so the client that just submitted it always gets at
+// least one successful poll.
 func (e *JobEngine) retireLocked(j *job) {
-	j.model = nil
 	j.runFn = nil
 	if e.active[j.key] == j {
 		delete(e.active, j.key)
@@ -366,7 +474,7 @@ func (e *JobEngine) List() []JobInfo {
 }
 
 // Close cancels running jobs, drains the queue and stops the workers.
-// Queued jobs finish as canceled.
+// Queued and deferred jobs finish as canceled.
 func (e *JobEngine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -376,6 +484,27 @@ func (e *JobEngine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	e.baseCancel()
+	// Stop the dispatcher before closing the queue channel (it sends on
+	// it), then cancel whatever is still parked: those jobs never reached
+	// the queue, so no worker will retire them.
+	close(e.dispStop)
+	e.dispWG.Wait()
+	e.mu.Lock()
+	for _, j := range e.deferred {
+		if j.state != JobQueued {
+			continue
+		}
+		j.state = JobCanceled
+		j.finished = time.Now().UTC()
+		if j.batch != nil {
+			j.batch.cancelPending()
+		}
+		e.retireLocked(j)
+		e.metrics.JobsCanceled.Add(1)
+		close(j.done)
+	}
+	e.deferred = nil
+	e.mu.Unlock()
 	close(e.queue)
 	e.wg.Wait()
 }

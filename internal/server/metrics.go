@@ -25,6 +25,12 @@ type Metrics struct {
 	JobsFailed     atomic.Int64
 	JobsCanceled   atomic.Int64
 	JobsRejected   atomic.Int64
+	// JobsDeferred counts gang jobs admitted into the bounded wait queue
+	// instead of the worker queue (scheduler saturated or queue full).
+	JobsDeferred atomic.Int64
+	// FlightsJoined counts placements that joined an identical in-flight
+	// computation (cross-kind dedup) instead of executing their own.
+	FlightsJoined atomic.Int64
 	MaintainJobs   atomic.Int64
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
@@ -65,6 +71,8 @@ type MetricsSnapshot struct {
 	JobsFailed         int64 `json:"jobs_failed"`
 	JobsCanceled       int64 `json:"jobs_canceled"`
 	JobsRejected       int64 `json:"jobs_rejected"`
+	JobsDeferred       int64 `json:"jobs_deferred"`
+	FlightsJoined      int64 `json:"flights_joined"`
 	JobQueueDepth      int64 `json:"job_queue_depth"`
 	MaintainJobs       int64 `json:"maintain_jobs"`
 	CacheHits          int64 `json:"cache_hits"`
@@ -103,6 +111,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		JobsFailed:         m.JobsFailed.Load(),
 		JobsCanceled:       m.JobsCanceled.Load(),
 		JobsRejected:       m.JobsRejected.Load(),
+		JobsDeferred:       m.JobsDeferred.Load(),
+		FlightsJoined:      m.FlightsJoined.Load(),
 		MaintainJobs:       m.MaintainJobs.Load(),
 		CacheHits:          m.CacheHits.Load(),
 		CacheMisses:        m.CacheMisses.Load(),

@@ -93,6 +93,7 @@ type Server struct {
 	registry       *Registry
 	jobs           *JobEngine
 	cache          *resultCache
+	flights        *flightTable
 	metrics        *Metrics
 	logger         *log.Logger
 	maxBodyBytes   int64
@@ -112,6 +113,7 @@ func New(cfg Config) *Server {
 		registry:       NewRegistry(cfg.MaxGraphs, m),
 		jobs:           NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m),
 		cache:          cache,
+		flights:        newFlightTable(),
 		metrics:        m,
 		logger:         cfg.Logger,
 		maxBodyBytes:   cfg.MaxBodyBytes,
