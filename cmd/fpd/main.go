@@ -28,6 +28,14 @@
 // -sched-workers, so concurrent placements share a bounded pool instead
 // of spawning goroutines per call.
 //
+// Observability: /metrics serves JSON by default and the Prometheus text
+// format for scrapers (?format=prometheus or Accept: text/plain),
+// including latency histograms for HTTP routes, job queue wait and run
+// time, scheduler queue wait, and placement stages. -log-level selects
+// structured (slog) log verbosity, -slow-place logs the stage timeline of
+// any job running longer than the threshold, and -pprof exposes the
+// runtime profiler under /debug/pprof/.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, running
 // jobs are canceled, and the worker pool exits.
 package main
@@ -38,9 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,35 +82,58 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxPar    = fs.Int("max-parallelism", 0, "cap on the per-placement 'parallelism' request field (0: GOMAXPROCS)")
 		schedW    = fs.Int("sched-workers", 0, "process-wide placement scheduler pool size shared by all jobs (0: GOMAXPROCS)")
 		grace     = fs.Duration("grace", 10*time.Second, "graceful shutdown timeout")
-		quiet     = fs.Bool("q", false, "disable request logging")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error (debug includes per-request logs)")
+		slowPlace = fs.Duration("slow-place", 0, "warn with the stage timeline when a job's run exceeds this (0: disabled)")
+		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		quiet     = fs.Bool("q", false, "disable logging (same as -log-level above error)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logger := log.New(stderr, "", log.LstdFlags)
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level}))
 	reqLogger := logger
 	if *quiet {
 		reqLogger = nil
 	}
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxJobs:        *maxJobs,
-		MaxGraphs:      *maxGraphs,
-		CacheSize:      *cacheSize,
-		MaxParallelism: *maxPar,
-		SchedWorkers:   *schedW,
-		Logger:         reqLogger,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxJobs:            *maxJobs,
+		MaxGraphs:          *maxGraphs,
+		CacheSize:          *cacheSize,
+		MaxParallelism:     *maxPar,
+		SchedWorkers:       *schedW,
+		Logger:             reqLogger,
+		SlowPlaceThreshold: *slowPlace,
 	})
 	defer srv.Close()
+
+	var handler http.Handler = srv
+	if *withPprof {
+		// Explicit registrations on a private mux — importing the pprof
+		// package for its side effect would pollute http.DefaultServeMux
+		// for every embedder of this package.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv}
-	logger.Printf("fpd: listening on %s", ln.Addr())
+	httpSrv := &http.Server{Handler: handler}
+	logger.Info("fpd: listening", "addr", ln.Addr().String(), "pprof", *withPprof)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -111,11 +143,26 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("fpd: shutting down")
+	logger.Info("fpd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	return nil
+}
+
+// parseLevel maps the -log-level flag onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (have debug, info, warn, error)", s)
 }

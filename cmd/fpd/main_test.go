@@ -28,7 +28,7 @@ func (s *syncBuffer) String() string {
 	return s.b.String()
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var listenRE = regexp.MustCompile(`listening.* addr=(\S+)`)
 
 // TestRunServesAndShutsDown boots the daemon on an ephemeral port, hits
 // /healthz, and checks that canceling the context shuts it down cleanly.

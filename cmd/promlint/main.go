@@ -1,0 +1,41 @@
+// Command promlint validates a Prometheus text-format (0.0.4) exposition:
+// comment grammar, metric and label names, sample values, TYPE
+// consistency, and histogram invariants (cumulative buckets, le="+Inf",
+// _sum/_count). It is the checker behind the CI step that scrapes a live
+// fpd daemon's /metrics.
+//
+// Usage:
+//
+//	promlint [file...]        # no files: read stdin
+//	curl -s localhost:8080/metrics?format=prometheus | promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := obs.LintPrometheus(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		err = obs.LintPrometheus(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

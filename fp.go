@@ -66,6 +66,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -203,12 +204,36 @@ func PlaceStrategies() []PlaceStrategy { return core.Strategies() }
 
 // PlaceOptions configures Place: strategy, parallelism (worker goroutines
 // for marginal-gain evaluation — results are bit-for-bit identical to the
-// serial path at any setting), and the seed/rng of randomized baselines.
+// serial path at any setting), the seed/rng of randomized baselines, and
+// an optional Trace recording per-stage timing (see NewTrace).
 type PlaceOptions = core.Options
 
-// Placement is Place's outcome: the filters, the oracle-work stats and
-// the effective parallelism.
+// Placement is Place's outcome: the filters, the oracle-work stats, the
+// topological-pass counts and the effective parallelism.
 type Placement = core.Result
+
+// PassStats counts the topological passes a placement executed — the
+// engine-level cost behind the oracle calls (Placement.Passes). Unlike
+// OracleStats it is an execution measurement: parallel CELF runs
+// speculative evaluations, so its counts may vary with parallelism.
+type PassStats = core.PassStats
+
+// Trace aggregates named, timed stages; pass one via PlaceOptions.Trace
+// to see where a placement spends its time (greedy rounds, CELF init and
+// rechecks). All methods are safe on a nil receiver — a nil trace records
+// nothing — and safe for the concurrent use parallel placement makes of
+// it. The fpd daemon attaches one per async job and serves the snapshot
+// as the job's timeline.
+type Trace = obs.Trace
+
+// StageRecord is one aggregated stage of a Trace snapshot: occurrence
+// count, total duration, evaluations attributed and the maximum worker
+// parallelism observed.
+type StageRecord = obs.StageRecord
+
+// NewTrace returns an empty stage trace for PlaceOptions.Trace; read the
+// result with its Snapshot method after placement.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // Place is the unified placement engine; see PlaceOptions for the knobs.
 // It returns ctx.Err() when canceled mid-placement. Its parallel inner

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -74,6 +75,12 @@ type Options struct {
 	// Rand, when non-nil, overrides Seed with an existing stream —
 	// experiment harnesses average baselines over a shared rng.
 	Rand *rand.Rand
+	// Trace, when non-nil, records per-stage timing spans (greedy rounds,
+	// CELF init/rechecks, naive rounds) for observability. Stages wrap
+	// whole rounds — never the pass kernels — so tracing cannot perturb
+	// the bit-identical arithmetic. A nil Trace records nothing and never
+	// reads the clock.
+	Trace *obs.Trace
 }
 
 // Result is a placement outcome.
@@ -90,6 +97,22 @@ type Result struct {
 	// Parallelism is the worker count actually used (1 when the
 	// evaluator cannot parallelize or the strategy is inherently serial).
 	Parallelism int
+	// Passes counts the topological passes this placement executed, when
+	// the evaluator exposes them (flow.PassCounter); zero otherwise. It is
+	// an execution measurement, not part of the deterministic contract:
+	// unlike Stats, it may differ across Parallelism settings because
+	// parallel CELF runs speculative evaluations whose passes execute even
+	// when their results are discarded by the serial-replay commit.
+	Passes PassStats
+}
+
+// PassStats counts forward (Φ/receive) and suffix (amplification)
+// topological passes executed over the graph. Passes are the engine-level
+// unit of work behind every oracle call; one gain evaluation costs one
+// forward pass, plus one suffix pass for closed-form gain rounds.
+type PassStats struct {
+	Forward int64 `json:"forward_passes"`
+	Suffix  int64 `json:"suffix_passes"`
 }
 
 // Place is the unified placement engine: every algorithm of the paper (and
@@ -110,6 +133,13 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 	res := Result{Strategy: opts.Strategy, Parallelism: 1}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	// Snapshot cumulative pass counts so Result.Passes is this placement's
+	// delta, excluding the invariant passes run at engine construction.
+	var passF0, passS0 int64
+	passCounter, hasPasses := ev.(flow.PassCounter)
+	if hasPasses {
+		passF0, passS0 = passCounter.Passes()
 	}
 	var err error
 	switch opts.Strategy {
@@ -139,6 +169,10 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		res.Filters = UnboundedOptimal(ev.Model().Graph())
 	default:
 		return Result{}, fmt.Errorf("core: unknown strategy %q (have %v)", opts.Strategy, Strategies())
+	}
+	if hasPasses {
+		f, s := passCounter.Passes()
+		res.Passes = PassStats{Forward: f - passF0, Suffix: s - passS0}
 	}
 	if err != nil {
 		res.Filters = nil // partial placements are not usable results
@@ -183,6 +217,7 @@ func placeGreedyAll(ctx context.Context, ev flow.Evaluator, k int, opts Options,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		sp := opts.Trace.Begin("greedy-round")
 		var v int
 		var gain float64
 		if procs > 1 {
@@ -190,6 +225,9 @@ func placeGreedyAll(ctx context.Context, ev flow.Evaluator, k int, opts Options,
 		} else {
 			v, gain = ev.ArgmaxImpact(filters, filters)
 		}
+		sp.AddEvals(int64(n))
+		sp.SetWorkers(procs)
+		sp.End()
 		res.Stats.GainEvaluations += n
 		if v < 0 || gain <= 0 {
 			break // no further filter reduces multiplicity
@@ -342,7 +380,11 @@ func placeNaive(ctx context.Context, ev flow.Evaluator, k int, opts Options, res
 				cands = append(cands, v)
 			}
 		}
+		sp := opts.Trace.Begin("naive-round")
 		gains, err := pool.gains(ctx, filters, cands)
+		sp.AddEvals(int64(len(cands)))
+		sp.SetWorkers(pool.width())
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -446,7 +488,11 @@ func placeCELF(ctx context.Context, ev flow.Evaluator, k int, opts Options, res 
 	chosen := make([]int, 0, k)
 	st := &res.Stats
 
+	sp := opts.Trace.Begin("celf-init")
 	gains := impactsOf(ev, filters, opts.Parallelism, res) // initial exact gains, batch computed
+	sp.AddEvals(int64(n))
+	sp.SetWorkers(res.Parallelism)
+	sp.End()
 	st.GainEvaluations += n
 	var h celfHeap
 	for v := 0; v < n; v++ {
@@ -479,7 +525,11 @@ func placeCELF(ctx context.Context, ev flow.Evaluator, k int, opts Options, res 
 			batch = append(batch, e)
 			nodes = append(nodes, e.v)
 		}
+		rsp := opts.Trace.Begin("celf-recheck")
 		prefetched, err := pool.gains(ctx, filters, nodes)
+		rsp.AddEvals(int64(len(nodes)))
+		rsp.SetWorkers(pool.width())
+		rsp.End()
 		if err != nil {
 			return err
 		}

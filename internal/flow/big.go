@@ -17,6 +17,8 @@ type BigEngine struct {
 	p        *Plan
 	phiEmpty *big.Int
 	maxF     *big.Int
+	// pc counts topological passes; the shallow Clone copy shares it.
+	pc *passCount
 }
 
 // NewBig builds an exact evaluator for the model. It panics when the model
@@ -25,7 +27,7 @@ func NewBig(m *Model) *BigEngine {
 	if m.Weighted() {
 		panic("flow: BigEngine does not support weighted models")
 	}
-	e := &BigEngine{m: m, p: m.Plan()}
+	e := &BigEngine{m: m, p: m.Plan(), pc: &passCount{}}
 	e.phiEmpty = e.phiBig(nil)
 	e.maxF = new(big.Int).Sub(e.phiEmpty, e.phiBig(AllFilters(m)))
 	return e
@@ -75,7 +77,13 @@ func (e *BigEngine) forwardBig(filters []bool) (rec, emit []*big.Int) {
 	for _, v := range e.p.perm {
 		e.stepForwardBig(int(v), filters, rec, emit)
 	}
+	e.pc.fwd.Add(1)
 	return rec, emit
+}
+
+// Passes implements PassCounter.
+func (e *BigEngine) Passes() (forward, suffix int64) {
+	return e.pc.fwd.Load(), e.pc.suf.Load()
 }
 
 // forwardBigP is forwardBig with each plan level's nodes sharded across
@@ -93,6 +101,7 @@ func (e *BigEngine) forwardBigP(filters []bool, procs int) (rec, emit []*big.Int
 			}
 		})
 	}
+	e.pc.fwd.Add(1)
 	return rec, emit
 }
 
@@ -139,6 +148,7 @@ func (e *BigEngine) suffixBig(filters []bool) []*big.Int {
 	for i := len(perm) - 1; i >= 0; i-- {
 		e.stepSuffixBig(int(perm[i]), filters, suf)
 	}
+	e.pc.suf.Add(1)
 	return suf
 }
 
@@ -154,6 +164,7 @@ func (e *BigEngine) suffixBigP(filters []bool, procs int) []*big.Int {
 			}
 		})
 	}
+	e.pc.suf.Add(1)
 	return suf
 }
 

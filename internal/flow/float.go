@@ -35,6 +35,8 @@ type FloatEngine struct {
 	maxF     float64
 	// sc is the engine's borrowed scratch arena (nil until first use).
 	sc *floatScratch
+	// pc counts topological passes; shared with every clone.
+	pc *passCount
 }
 
 // NewFloat builds a float64 evaluator for the model.
@@ -44,7 +46,7 @@ func NewFloat(m *Model) *FloatEngine {
 	for i, v := range p.perm {
 		src[i] = m.isSrc[v]
 	}
-	e := &FloatEngine{m: m, p: p, src: src}
+	e := &FloatEngine{m: m, p: p, src: src, pc: &passCount{}}
 	e.phiEmpty = e.phi(nil)
 	e.maxF = e.phiEmpty - e.phi(AllFilters(m))
 	return e
@@ -59,7 +61,7 @@ func (e *FloatEngine) Model() *Model { return e.m }
 // receiver. Cloning is O(1); scratch is borrowed from the plan pool on
 // first use and returned by ReleaseScratch.
 func (e *FloatEngine) Clone() Evaluator {
-	return &FloatEngine{m: e.m, p: e.p, src: e.src, phiEmpty: e.phiEmpty, maxF: e.maxF}
+	return &FloatEngine{m: e.m, p: e.p, src: e.src, phiEmpty: e.phiEmpty, maxF: e.maxF, pc: e.pc}
 }
 
 // ReleaseScratch implements ScratchReleaser: the engine's borrowed arena
@@ -98,10 +100,17 @@ func (e *FloatEngine) passes(filters []bool, withSuffix bool) *floatScratch {
 	sc := e.scratch()
 	fm := e.p.fillMask(sc.fmask, filters)
 	e.p.forwardRange(e.src, fm, sc.rec, sc.emit, 0, e.p.n)
+	e.pc.fwd.Add(1)
 	if withSuffix {
 		e.p.suffixRange(fm, sc.suf, 0, e.p.n)
+		e.pc.suf.Add(1)
 	}
 	return sc
+}
+
+// Passes implements PassCounter.
+func (e *FloatEngine) Passes() (forward, suffix int64) {
+	return e.pc.fwd.Load(), e.pc.suf.Load()
 }
 
 func (e *FloatEngine) phi(filters []bool) float64 {
@@ -128,6 +137,7 @@ func (e *FloatEngine) Suffix(filters []bool) []float64 {
 	sc := e.scratch()
 	fm := e.p.fillMask(sc.fmask, filters)
 	e.p.suffixRange(fm, sc.suf, 0, e.p.n)
+	e.pc.suf.Add(1)
 	return e.p.scatter(sc.suf)
 }
 

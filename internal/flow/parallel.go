@@ -112,6 +112,8 @@ func (e *FloatEngine) passesP(filters []bool, procs int) *floatScratch {
 	fm := e.p.fillMask(sc.fmask, filters)
 	e.p.forwardLevels(e.src, fm, sc.rec, sc.emit, procs)
 	e.p.suffixLevels(fm, sc.suf, procs)
+	e.pc.fwd.Add(1)
+	e.pc.suf.Add(1)
 	return sc
 }
 

@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-format (0.0.4) exposition:
+// comment grammar, metric and label name syntax, parseable sample
+// values, TYPE consistency, and — for histograms — cumulative bucket
+// monotonicity, a closing le="+Inf" bucket, and _sum/_count presence
+// with _count equal to the +Inf bucket. It is the checker behind the CI
+// /metrics lint step and deliberately errs on the strict side: a clean
+// pass here is a superset of what real scrapers require.
+func LintPrometheus(r io.Reader) error {
+	l := &promLinter{
+		types:   make(map[string]string),
+		hists:   make(map[string]*histSeries),
+		sampled: make(map[string]bool),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := l.feed(sc.Text()); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return l.finish()
+}
+
+var (
+	lintNameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintLabelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histSeries accumulates one histogram's per-labelset bucket state.
+type histSeries struct {
+	// keyed by the labelset excluding le.
+	buckets map[string][]bucketSample
+	sums    map[string]bool
+	counts  map[string]float64
+}
+
+type bucketSample struct {
+	le    float64
+	inf   bool
+	value float64
+}
+
+type promLinter struct {
+	types   map[string]string
+	hists   map[string]*histSeries
+	sampled map[string]bool
+}
+
+func (l *promLinter) feed(line string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.feedComment(line)
+	}
+	return l.feedSample(line)
+}
+
+func (l *promLinter) feedComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !lintNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !lintNameRE.MatchString(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for metric %s", name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		l.types[name] = typ
+		if typ == "histogram" {
+			l.hists[name] = &histSeries{
+				buckets: make(map[string][]bucketSample),
+				sums:    make(map[string]bool),
+				counts:  make(map[string]float64),
+			}
+		}
+	}
+	return nil
+}
+
+func (l *promLinter) feedSample(line string) error {
+	name, labels, value, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !lintNameRE.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	lset, err := parseLabels(labels)
+	if err != nil {
+		return fmt.Errorf("metric %s: %w", name, err)
+	}
+	v, err := parseValue(value)
+	if err != nil {
+		return fmt.Errorf("metric %s: bad value %q", name, value)
+	}
+
+	// Histogram series route to their base metric's accumulator.
+	base, kind := name, ""
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name && l.hists[trimmed] != nil {
+			base, kind = trimmed, suffix
+			break
+		}
+	}
+	l.sampled[base] = true
+	if kind == "" {
+		if l.types[name] == "histogram" {
+			return fmt.Errorf("histogram %s has a bare sample (want _bucket/_sum/_count)", name)
+		}
+		return nil
+	}
+
+	h := l.hists[base]
+	key := labelsetKey(lset, "le")
+	switch kind {
+	case "_bucket":
+		le, ok := lset["le"]
+		if !ok {
+			return fmt.Errorf("histogram %s bucket without le label", base)
+		}
+		bs := bucketSample{value: v}
+		if le == "+Inf" {
+			bs.inf = true
+		} else if bs.le, err = strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", base, le)
+		}
+		h.buckets[key] = append(h.buckets[key], bs)
+	case "_sum":
+		h.sums[key] = true
+	case "_count":
+		h.counts[key] = v
+	}
+	return nil
+}
+
+// finish runs the whole-exposition checks that need every sample seen.
+func (l *promLinter) finish() error {
+	for name, h := range l.hists {
+		if !l.sampled[name] {
+			continue // declared but never sampled: legal
+		}
+		for key, buckets := range h.buckets {
+			var prev float64 = -1
+			lastLE := -1.0
+			sawInf := false
+			for _, b := range buckets {
+				if b.inf {
+					sawInf = true
+				} else {
+					if b.le <= lastLE {
+						return fmt.Errorf("histogram %s{%s}: le bounds not ascending", name, key)
+					}
+					lastLE = b.le
+				}
+				if b.value < prev {
+					return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative", name, key)
+				}
+				prev = b.value
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", name, key)
+			}
+			if !h.sums[key] {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", name, key)
+			}
+			count, ok := h.counts[key]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _count", name, key)
+			}
+			if inf := buckets[len(buckets)-1]; inf.inf && inf.value != count {
+				return fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", name, key, count, inf.value)
+			}
+		}
+	}
+	return nil
+}
+
+// splitSample cuts "name{labels} value [timestamp]" into parts.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unclosed label braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	// fields[1], when present, is a timestamp; ParseInt check is enough.
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", "", fmt.Errorf("bad timestamp in %q", line)
+		}
+	}
+	return name, labels, fields[0], nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` into a map, validating names and
+// escape sequences.
+func parseLabels(s string) (map[string]string, error) {
+	lset := make(map[string]string)
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !lintLabelRE.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest := strings.TrimSpace(s[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				i++
+				switch rest[i] {
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					// Go's %q can emit other escapes; accept them verbatim.
+					val.WriteByte('\\')
+					val.WriteByte(rest[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := lset[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		lset[name] = val.String()
+		rest = strings.TrimSpace(rest[i+1:])
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return nil, fmt.Errorf("expected ',' between labels near %q", rest)
+		}
+		s = strings.TrimSpace(rest[1:])
+	}
+	return lset, nil
+}
+
+// labelsetKey renders a labelset (minus the excluded label) as a stable
+// string key.
+func labelsetKey(lset map[string]string, exclude string) string {
+	parts := make([]string, 0, len(lset))
+	for k, v := range lset {
+		if k == exclude {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	if len(parts) > 1 {
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseValue accepts Prometheus sample values: Go float syntax plus
+// +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

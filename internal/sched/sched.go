@@ -32,6 +32,7 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Pool is a bounded work-stealing scheduler. The zero value is not usable;
@@ -45,6 +46,10 @@ type Pool struct {
 	live    int        // running workers
 	queued  int        // tasks submitted and not yet started
 	closed  bool
+	// sampler, when installed, observes each task's queue wait (submit →
+	// start). Tasks are only wrapped while a sampler is set, so the
+	// default nil costs nothing — no clock reads, no extra closure.
+	sampler func(wait time.Duration)
 }
 
 // NewPool starts a pool with the given number of worker goroutines.
@@ -116,6 +121,18 @@ func (p *Pool) ChunkHint() int {
 	return 1
 }
 
+// SetQueueWaitSampler installs fn to observe every task's queue wait —
+// the time from Batch.Go to the task starting, whether it starts on a
+// stealing pool worker or on the submitter helping inline. fpd feeds
+// the samples into its fpd_sched_queue_wait_seconds histogram; nil
+// uninstalls. fn runs on the executing goroutine just before the task
+// and must be fast and concurrency-safe.
+func (p *Pool) SetQueueWaitSampler(fn func(wait time.Duration)) {
+	p.mu.Lock()
+	p.sampler = fn
+	p.mu.Unlock()
+}
+
 // QueueDepth returns the number of submitted tasks no goroutine has
 // started yet, across all batches — the backlog gauge fpd surfaces in
 // /metrics.
@@ -156,6 +173,14 @@ func (p *Pool) NewBatch() *Batch {
 func (b *Batch) Go(fn func()) {
 	p := b.pool
 	p.mu.Lock()
+	if sample := p.sampler; sample != nil {
+		submitted := time.Now()
+		task := fn
+		fn = func() {
+			sample(time.Since(submitted))
+			task()
+		}
+	}
 	b.tasks = append(b.tasks, fn)
 	b.pending++
 	p.queued++

@@ -110,15 +110,15 @@ func TestRoundRobinFairness(t *testing.T) {
 	small.Go(func() { smallDone <- bigDoneBeforeSmall.Load() })
 
 	close(gate)
-	// Drain both batches from separate goroutines so neither submitter
-	// helps its own batch faster than the worker round-robins.
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); big.Wait() }()
-	go func() { defer wg.Done(); small.Wait() }()
-	wg.Wait()
+	// Let the lone worker drain alone until the small batch's task has
+	// run: calling Wait first would add helping submitters whose relative
+	// scheduling is nondeterministic, letting big's helper race past the
+	// worker's round-robin.
+	ahead := <-smallDone
+	big.Wait()
+	small.Wait()
 
-	if ahead := <-smallDone; ahead > bigTasks/2 {
+	if ahead > bigTasks/2 {
 		t.Fatalf("small batch waited behind %d of %d big tasks — not fair", ahead, bigTasks)
 	}
 }
@@ -196,5 +196,48 @@ func TestDefaultPoolSingleton(t *testing.T) {
 	SetDefaultWorkers(0) // reset to GOMAXPROCS
 	if got := Default().Workers(); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("reset workers = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestQueueWaitSampler: every task submitted while a sampler is
+// installed produces exactly one non-negative sample — whether it runs
+// on a pool worker or inline on the helping submitter — and uninstalling
+// stops sampling.
+func TestQueueWaitSampler(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		p := NewPool(workers)
+		defer p.Close()
+		var samples atomic.Int64
+		var negative atomic.Int64
+		p.SetQueueWaitSampler(func(wait time.Duration) {
+			samples.Add(1)
+			if wait < 0 {
+				negative.Add(1)
+			}
+		})
+		const tasks = 50
+		b := p.NewBatch()
+		var ran atomic.Int64
+		for i := 0; i < tasks; i++ {
+			b.Go(func() { ran.Add(1) })
+		}
+		b.Wait()
+		if ran.Load() != tasks {
+			t.Fatalf("workers=%d: ran %d tasks, want %d", workers, ran.Load(), tasks)
+		}
+		if samples.Load() != tasks {
+			t.Errorf("workers=%d: %d samples, want %d", workers, samples.Load(), tasks)
+		}
+		if negative.Load() != 0 {
+			t.Errorf("workers=%d: %d negative waits", workers, negative.Load())
+		}
+
+		p.SetQueueWaitSampler(nil)
+		b2 := p.NewBatch()
+		b2.Go(func() {})
+		b2.Wait()
+		if samples.Load() != tasks {
+			t.Errorf("workers=%d: sampler fired after uninstall", workers)
+		}
 	}
 }

@@ -272,13 +272,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics is GET /metrics. The counter snapshot is augmented with
 // sampled gauges: the job-queue depth (auto-maintain backlog), the
-// placement-cache population, and the shared scheduler's queue depth and
-// worker count.
+// placement-cache population, the deferred-gang wait queue, and the
+// shared scheduler's queue depth and worker count. The default response
+// is JSON; Prometheus text format (0.0.4) — including the latency
+// histograms — is served for ?format=prometheus or an Accept header
+// preferring text/plain (what a Prometheus scraper sends).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.JobQueueDepth = int64(s.jobs.QueueDepth())
 	snap.CacheEntries = int64(s.cache.len())
 	snap.SchedQueueDepth = int64(sched.Default().QueueDepth())
 	snap.SchedWorkers = int64(sched.Default().Workers())
+	waiting, oldest := s.jobs.DeferredStats()
+	snap.JobsDeferredWaiting = int64(waiting)
+	snap.OldestDeferredAgeSeconds = oldest.Seconds()
+
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.writePrometheus(w, snap); err != nil {
+			s.logf("fpd: write prometheus exposition: %v", err)
+		}
+		return
+	}
 	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// wantsPrometheus decides the /metrics response format: an explicit
+// ?format= wins; otherwise an Accept header naming text/plain (and not
+// json) selects the exposition format.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -47,6 +48,12 @@ type JobInfo struct {
 	Started   *time.Time  `json:"started_at,omitempty"`
 	Finished  *time.Time  `json:"finished_at,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms,omitempty"`
+	// Timeline is the job's stage trace: lifecycle phases (queued,
+	// deferred-wait, run) plus the placement stages core.Place recorded
+	// (greedy-round, celf-init, …), each with a start offset relative to
+	// submission and a total duration, merged by stage name. Present as
+	// soon as a job starts; complete once the job is terminal.
+	Timeline []obs.StageRecord `json:"timeline,omitempty"`
 }
 
 // job is the engine-internal record; every field after construction is
@@ -70,8 +77,15 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
-	cancel   context.CancelFunc
-	done     chan struct{}
+	// admitted is when a deferred gang moved from the admission wait
+	// queue into the worker queue; zero for jobs admitted directly.
+	admitted time.Time
+	// trace records the job's stage timeline from submission on; the
+	// worker threads it through the run context so core.Place stages land
+	// on it too.
+	trace  *obs.Trace
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // JobEngine runs expensive placements on a fixed worker pool, tracks job
@@ -88,6 +102,9 @@ type JobEngine struct {
 	maxJobs int
 	cache   *resultCache
 	metrics *Metrics
+	// obs carries the engine's latency histograms, stage sink and slow
+	// log; nil (direct library use) disables all of it.
+	obs *engineObs
 
 	// Scheduler-aware gang admission: a gang (batch) job arriving while
 	// the shared oracle scheduler is saturated — or while the worker
@@ -127,7 +144,9 @@ func schedSaturated() bool {
 // pending jobs. At most maxJobs job records are retained: once a job is
 // terminal its model is released and the oldest terminal records beyond
 // the bound are pruned, so a long-running daemon's memory stays bounded.
-func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metrics) *JobEngine {
+// o (optional, may be nil) wires the engine's observability: lifecycle
+// histograms, the stage sink and the slow-placement log.
+func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metrics, o *engineObs) *JobEngine {
 	if workers < 1 {
 		workers = 1
 	}
@@ -152,6 +171,7 @@ func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metri
 		dispKick:    make(chan struct{}, 1),
 		cache:       cache,
 		metrics:     m,
+		obs:         o,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 	}
@@ -202,6 +222,7 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	j.id = fmt.Sprintf("j%d", e.nextID)
 	j.state = JobQueued
 	j.created = time.Now().UTC()
+	j.trace = obs.NewTrace() // t0 = submission; stage offsets are relative to it
 	j.done = make(chan struct{})
 	deferredJob := false
 	admit := true
@@ -297,6 +318,8 @@ func (e *JobEngine) admitDeferred() {
 		}
 		select {
 		case e.queue <- j:
+			j.admitted = time.Now().UTC()
+			j.trace.Observe("deferred-wait", j.created, j.admitted.Sub(j.created))
 			e.deferred = e.deferred[1:]
 		default:
 			return // worker queue still full
@@ -310,6 +333,19 @@ func (e *JobEngine) DeferredDepth() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.deferred)
+}
+
+// DeferredStats samples the admission wait queue for /metrics: how many
+// gangs are parked and how long the oldest has been waiting. The
+// deferred queue is FIFO, so the front entry is the oldest.
+func (e *JobEngine) DeferredStats() (waiting int, oldest time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	waiting = len(e.deferred)
+	if waiting > 0 {
+		oldest = time.Since(e.deferred[0].created)
+	}
+	return waiting, oldest
 }
 
 // QueueDepth returns the number of jobs waiting for a worker; surfaced in
@@ -331,6 +367,7 @@ func (e *JobEngine) worker() {
 			// job, stalling Close behind the whole backlog.
 			j.state = JobCanceled
 			j.finished = time.Now().UTC()
+			j.trace.Observe("queued", j.queuedFrom(), j.finished.Sub(j.queuedFrom()))
 			if j.batch != nil {
 				j.batch.cancelPending()
 			}
@@ -344,15 +381,30 @@ func (e *JobEngine) worker() {
 		j.state = JobRunning
 		j.started = time.Now().UTC()
 		j.cancel = cancel
+		j.trace.Observe("queued", j.queuedFrom(), j.started.Sub(j.queuedFrom()))
+		if e.obs != nil {
+			if e.obs.queueWait != nil {
+				e.obs.queueWait.Observe(j.started.Sub(j.created))
+			}
+			// Core placement stages recorded between here and SetSink(nil)
+			// below also feed the fpd_place_stage_seconds histograms.
+			j.trace.SetSink(e.obs.stageSink)
+		}
 		e.mu.Unlock()
 
 		e.metrics.JobsRunning.Add(1)
-		res, err := j.runFn(ctx)
+		res, err := j.runFn(obs.NewContext(ctx, j.trace))
 		e.metrics.JobsRunning.Add(-1)
 		cancel()
 
 		e.mu.Lock()
 		j.finished = time.Now().UTC()
+		j.trace.SetSink(nil)
+		elapsed := j.finished.Sub(j.started)
+		j.trace.Observe("run", j.started, elapsed)
+		if e.obs != nil && e.obs.runTime != nil {
+			e.obs.runTime.Observe(elapsed)
+		}
 		switch {
 		case err == nil:
 			j.state = JobDone
@@ -372,8 +424,49 @@ func (e *JobEngine) worker() {
 			e.metrics.JobsFailed.Add(1)
 		}
 		e.retireLocked(j)
+		state, errMsg := j.state, j.errMsg
 		e.mu.Unlock()
+		e.logJobDone(j, state, errMsg, elapsed)
 		close(j.done)
+	}
+}
+
+// queuedFrom is the instant the job last entered the worker queue: its
+// deferred-queue admission for parked gangs, its submission otherwise.
+func (j *job) queuedFrom() time.Time {
+	if !j.admitted.IsZero() {
+		return j.admitted
+	}
+	return j.created
+}
+
+// logJobDone emits the job's terminal log line, plus the slow-placement
+// warning (with the full stage timeline) when the run exceeded the
+// configured threshold.
+func (e *JobEngine) logJobDone(j *job, state JobState, errMsg string, elapsed time.Duration) {
+	o := e.obs
+	if o == nil || o.logger == nil {
+		return
+	}
+	attrs := []any{
+		"job", j.id,
+		"graph", j.graphID,
+		"algorithm", j.spec.Algorithm,
+		"state", string(state),
+		"elapsed", elapsed.Round(time.Microsecond),
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	o.logger.Info("job finished", attrs...)
+	if o.slowThreshold > 0 && elapsed > o.slowThreshold {
+		o.logger.Warn("slow placement",
+			"job", j.id,
+			"graph", j.graphID,
+			"algorithm", j.spec.Algorithm,
+			"elapsed", elapsed.Round(time.Microsecond),
+			"threshold", o.slowThreshold,
+			"timeline", j.trace.Snapshot())
 	}
 }
 
@@ -402,6 +495,7 @@ func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
 	case JobQueued:
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
+		j.trace.Observe("queued", j.queuedFrom(), j.finished.Sub(j.queuedFrom()))
 		if j.batch != nil {
 			j.batch.cancelPending()
 		}
@@ -496,6 +590,7 @@ func (e *JobEngine) Close() {
 		}
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
+		j.trace.Observe("deferred-wait", j.created, j.finished.Sub(j.created))
 		if j.batch != nil {
 			j.batch.cancelPending()
 		}
@@ -524,6 +619,8 @@ func (e *JobEngine) infoLocked(j *job) JobInfo {
 		// so snapshotting under the engine lock cannot deadlock.
 		info.Batch = j.batch.snapshot()
 	}
+	// Trace has its own mutex and never acquires the engine's.
+	info.Timeline = j.trace.Snapshot()
 	if !j.started.IsZero() {
 		t := j.started
 		info.Started = &t

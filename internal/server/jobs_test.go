@@ -39,7 +39,7 @@ func blockingFn(release <-chan struct{}) func(context.Context) (*PlaceResult, er
 
 func newTestEngine(workers, depth int) (*JobEngine, *Metrics) {
 	m := &Metrics{}
-	return NewJobEngine(workers, depth, 64, newResultCache(8, m), m), m
+	return NewJobEngine(workers, depth, 64, newResultCache(8, m), m, nil), m
 }
 
 func waitState(t *testing.T, e *JobEngine, id string, want JobState) JobInfo {
@@ -347,7 +347,7 @@ func TestSubmitDeduplicatesInFlight(t *testing.T) {
 // newest records are kept.
 func TestTerminalJobRetentionBound(t *testing.T) {
 	metrics := &Metrics{}
-	e := NewJobEngine(1, 1, 1, newResultCache(8, metrics), metrics)
+	e := NewJobEngine(1, 1, 1, newResultCache(8, metrics), metrics, nil)
 	defer e.Close()
 	instant := func(context.Context) (*PlaceResult, error) {
 		return &PlaceResult{Filters: []int{1}}, nil

@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+)
 
 // Metrics holds the daemon's monotonic counters (plus one gauge for
 // running jobs). Everything is atomic so handlers, workers and the
@@ -89,37 +93,37 @@ type MetricsSnapshot struct {
 	BatchGraphsInflight int64 `json:"batch_graphs_inflight"`
 	SchedQueueDepth     int64 `json:"sched_queue_depth"`
 	SchedWorkers        int64 `json:"sched_workers"`
+	// JobsDeferredWaiting is a gauge of gang jobs currently parked in the
+	// admission wait queue, and OldestDeferredAgeSeconds the age of the
+	// one waiting longest — together they tell an operator whether
+	// deferred gangs are draining or starving. Both are sampled at
+	// snapshot time by the /metrics handler.
+	JobsDeferredWaiting      int64   `json:"jobs_deferred_waiting"`
+	OldestDeferredAgeSeconds float64 `json:"oldest_deferred_age_seconds"`
 }
 
-// Snapshot copies every counter.
+// Snapshot copies every counter into the same-named MetricsSnapshot
+// field by reflection, so adding a Metrics field without its snapshot
+// counterpart is impossible to miss: the mismatch panics on the first
+// snapshot (and TestMetricsSnapshotDrift pins it at test time). Fields
+// that exist only on the snapshot (sampled gauges) are left for the
+// caller to fill.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
-		RequestsTotal:      m.RequestsTotal.Load(),
-		RequestErrors:      m.RequestErrors.Load(),
-		GraphsCreated:      m.GraphsCreated.Load(),
-		GraphsEvicted:      m.GraphsEvicted.Load(),
-		GraphsDeleted:      m.GraphsDeleted.Load(),
-		GraphsPatched:      m.GraphsPatched.Load(),
-		EdgesAdded:         m.EdgesAdded.Load(),
-		EdgesRemoved:       m.EdgesRemoved.Load(),
-		SyncPlacements:     m.SyncPlacements.Load(),
-		Evaluations:        m.Evaluations.Load(),
-		JobsSubmitted:      m.JobsSubmitted.Load(),
-		JobsDeduped:        m.JobsDeduped.Load(),
-		JobsRunning:        m.JobsRunning.Load(),
-		JobsCompleted:      m.JobsCompleted.Load(),
-		JobsFailed:         m.JobsFailed.Load(),
-		JobsCanceled:       m.JobsCanceled.Load(),
-		JobsRejected:       m.JobsRejected.Load(),
-		JobsDeferred:       m.JobsDeferred.Load(),
-		FlightsJoined:      m.FlightsJoined.Load(),
-		MaintainJobs:       m.MaintainJobs.Load(),
-		CacheHits:          m.CacheHits.Load(),
-		CacheMisses:        m.CacheMisses.Load(),
-		CacheInvalidations: m.CacheInvalidations.Load(),
-		PlaceWorkersBusy:    m.PlaceWorkersBusy.Load(),
-		OracleEvaluations:   m.OracleEvaluations.Load(),
-		BatchesSubmitted:    m.BatchesSubmitted.Load(),
-		BatchGraphsInflight: m.BatchGraphsInflight.Load(),
+	var snap MetricsSnapshot
+	mv := reflect.ValueOf(m).Elem()
+	sv := reflect.ValueOf(&snap).Elem()
+	mt := mv.Type()
+	for i := 0; i < mt.NumField(); i++ {
+		name := mt.Field(i).Name
+		counter, ok := mv.Field(i).Addr().Interface().(*atomic.Int64)
+		if !ok {
+			panic(fmt.Sprintf("server: Metrics.%s is not an atomic.Int64", name))
+		}
+		target := sv.FieldByName(name)
+		if !target.IsValid() {
+			panic(fmt.Sprintf("server: Metrics.%s has no MetricsSnapshot counterpart", name))
+		}
+		target.SetInt(counter.Load())
 	}
+	return snap
 }

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverObs bundles the daemon's latency instrumentation: an obs.Registry
+// holding every histogram, plus direct handles the hot paths observe
+// into. Counters and sampled gauges stay in Metrics/MetricsSnapshot —
+// the registry carries only time distributions; /metrics merges both
+// into one Prometheus exposition.
+type serverObs struct {
+	reg *obs.Registry
+	// httpLat is per-route request latency, labeled by the registered
+	// route pattern ("POST /v1/graphs/{id}/place"), not the raw URL —
+	// bounded cardinality by construction.
+	httpLat *obs.HistogramVec
+	// jobQueueWait is the job lifecycle queued→started wait.
+	jobQueueWait *obs.Histogram
+	// jobRun is the job lifecycle started→finished run time.
+	jobRun *obs.Histogram
+	// schedWait is the process-wide scheduler's task queue wait, sampled
+	// via sched.Pool.SetQueueWaitSampler.
+	schedWait *obs.Histogram
+	// placeStage is per-stage placement time (greedy-round, celf-init,
+	// celf-recheck, naive-round, build-evaluator, maintain), fed by each
+	// job trace's sink.
+	placeStage *obs.HistogramVec
+}
+
+func newServerObs() *serverObs {
+	reg := obs.NewRegistry()
+	return &serverObs{
+		reg: reg,
+		httpLat: reg.HistogramVec("fpd_http_request_seconds",
+			"HTTP request latency by registered route pattern.", "route", nil),
+		jobQueueWait: reg.Histogram("fpd_job_queue_wait_seconds",
+			"Async job wait from submission to a worker starting it.", nil),
+		jobRun: reg.Histogram("fpd_job_run_seconds",
+			"Async job run time from start to terminal state.", nil),
+		schedWait: reg.Histogram("fpd_sched_queue_wait_seconds",
+			"Oracle scheduler task wait from submission to execution.", nil),
+		placeStage: reg.HistogramVec("fpd_place_stage_seconds",
+			"Placement stage durations (greedy rounds, CELF init/rechecks, evaluator builds).", "stage", nil),
+	}
+}
+
+// engineObs is the slice of serverObs the JobEngine needs, plus the slow
+// placement log. nil disables all of it (direct library users of
+// NewJobEngine without a server).
+type engineObs struct {
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
+	stageSink *obs.HistogramVec
+	logger    *slog.Logger
+	// slowThreshold triggers a warn-level log with the job's stage
+	// timeline when a job's run time exceeds it; 0 disables.
+	slowThreshold time.Duration
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/dyn"
+	"repro/internal/obs"
 )
 
 // PatchSpec is the PATCH /v1/graphs/{id}/edges request body. Mutations may
@@ -166,7 +167,9 @@ func (s *Server) runMaintain(ctx context.Context, id string, k int) (*PlaceResul
 		return nil, err
 	}
 	defer unlock()
+	sp := obs.TraceFrom(ctx).Begin("maintain")
 	rep, err := mt.Maintain(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/obs"
 )
 
 // PlaceSpec is the POST /v1/graphs/{id}/place request body.
@@ -47,6 +48,12 @@ type PlaceResult struct {
 	// Oracle counts the objective-function work the algorithm spent
 	// (omitted for strategies that do no marginal-gain evaluation).
 	Oracle *core.OracleStats `json:"oracle,omitempty"`
+	// Passes counts the topological passes the placement executed — the
+	// engine-level cost behind the oracle calls. Unlike Oracle it is an
+	// execution measurement and may vary across parallelism settings
+	// (parallel CELF runs speculative evaluations), so it never enters
+	// cache keys or determinism comparisons.
+	Passes *core.PassStats `json:"passes,omitempty"`
 	// Maintain is set by the auto-maintain job kind: what the maintenance
 	// pass did to the previous placement.
 	Maintain *MaintainInfo `json:"maintain,omitempty"`
@@ -157,9 +164,14 @@ func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) stri
 
 // execute runs the placement through core.Place and evaluates the paper's
 // report quantities for the chosen filter set. metrics (optional) receives
-// the per-job worker gauge and the oracle-call counter.
+// the per-job worker gauge and the oracle-call counter. A trace carried
+// by ctx (async jobs attach one) records the evaluator build and the
+// per-stage placement timing.
 func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string, metrics *Metrics) (*PlaceResult, error) {
+	tr := obs.TraceFrom(ctx)
+	bsp := tr.Begin("build-evaluator")
 	ev := sp.newEvaluator(m)
+	bsp.End()
 	if metrics != nil {
 		metrics.PlaceWorkersBusy.Add(int64(max(sp.Parallelism, 1)))
 		defer metrics.PlaceWorkersBusy.Add(-int64(max(sp.Parallelism, 1)))
@@ -168,6 +180,7 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 		Strategy:    spec.strategy,
 		Parallelism: sp.Parallelism,
 		Seed:        sp.Seed,
+		Trace:       tr,
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +211,10 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 	if pres.Stats != (core.OracleStats{}) {
 		st := pres.Stats
 		res.Oracle = &st
+	}
+	if pres.Passes != (core.PassStats{}) {
+		ps := pres.Passes
+		res.Passes = &ps
 	}
 	if g := m.Graph(); g.HasLabels() {
 		res.Labels = make([]string, len(filters))

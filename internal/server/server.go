@@ -22,11 +22,13 @@
 package server
 
 import (
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -57,8 +59,13 @@ type Config struct {
 	// pool at its default (GOMAXPROCS). Unlike the other knobs it is
 	// global, not per-Server.
 	SchedWorkers int
-	// Logger receives request and lifecycle logs; nil disables logging.
-	Logger *log.Logger
+	// Logger receives structured request and job lifecycle logs; nil
+	// disables logging. cmd/fpd builds one from -log-level.
+	Logger *slog.Logger
+	// SlowPlaceThreshold triggers a warn-level log — including the job's
+	// stage timeline — for any async job whose run time exceeds it
+	// (the fpd -slow-place flag). 0 disables.
+	SlowPlaceThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,7 +102,9 @@ type Server struct {
 	cache          *resultCache
 	flights        *flightTable
 	metrics        *Metrics
-	logger         *log.Logger
+	obs            *serverObs
+	logger         *slog.Logger
+	slowPlace      time.Duration
 	maxBodyBytes   int64
 	maxParallelism int
 }
@@ -107,23 +116,53 @@ func New(cfg Config) *Server {
 		sched.SetDefaultWorkers(cfg.SchedWorkers)
 	}
 	m := &Metrics{}
+	so := newServerObs()
+	eo := &engineObs{
+		queueWait:     so.jobQueueWait,
+		runTime:       so.jobRun,
+		stageSink:     so.placeStage,
+		logger:        cfg.Logger,
+		slowThreshold: cfg.SlowPlaceThreshold,
+	}
 	cache := newResultCache(cfg.CacheSize, m)
 	s := &Server{
 		mux:            http.NewServeMux(),
 		registry:       NewRegistry(cfg.MaxGraphs, m),
-		jobs:           NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m),
+		jobs:           NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m, eo),
 		cache:          cache,
 		flights:        newFlightTable(),
 		metrics:        m,
+		obs:            so,
 		logger:         cfg.Logger,
+		slowPlace:      cfg.SlowPlaceThreshold,
 		maxBodyBytes:   cfg.MaxBodyBytes,
 		maxParallelism: cfg.MaxParallelism,
 	}
+	// Route latency is labeled by the REGISTERED pattern, wrapped here at
+	// registration time: the outer ServeHTTP never learns which pattern
+	// the mux matched, and raw URLs would be unbounded-cardinality labels.
 	for pattern, h := range s.Routes() {
-		s.mux.HandleFunc(pattern, h)
+		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
+	// The queue-wait sampler is a process-wide hook (like SetDefaultWorkers):
+	// the most recently created server observes the shared scheduler.
+	sched.Default().SetQueueWaitSampler(so.schedWait.Observe)
 	return s
 }
+
+// instrument wraps one route handler with its latency histogram.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.obs.httpLat.With(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
+}
+
+// Obs exposes the latency registry (tests and embedders scrape it
+// without going through the HTTP endpoint).
+func (s *Server) Obs() *obs.Registry { return s.obs.reg }
 
 // Routes maps "METHOD /pattern" to handlers; exported so tests and docs
 // stay in sync with the actual surface.
@@ -150,7 +189,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RequestsTotal.Add(1)
 	start := time.Now()
 	s.mux.ServeHTTP(w, r)
-	s.logf("fpd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	if s.logger != nil {
+		s.logger.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"dur", time.Since(start).Round(time.Microsecond))
+	}
 }
 
 // Jobs exposes the job engine (examples use Wait instead of polling).
@@ -167,6 +211,6 @@ func (s *Server) Close() {
 
 func (s *Server) logf(format string, args ...any) {
 	if s.logger != nil {
-		s.logger.Printf(format, args...)
+		s.logger.Warn(fmt.Sprintf(format, args...))
 	}
 }
