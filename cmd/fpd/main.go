@@ -21,7 +21,12 @@
 //	GET    /v1/graphs/{id}/evaluate  Φ and FR for an explicit filter set
 //	GET    /v1/jobs/{id}             poll an async placement or maintain job
 //	DELETE /v1/jobs/{id}             cancel a job
-//	GET    /healthz, /metrics        liveness, counters, queue depth
+//	GET    /v1/tenants               per-tenant resource usage (all tenants)
+//	GET    /v1/tenants/{id}/usage    one tenant's accumulated usage
+//	GET    /v1/stats/history         recent metrics samples (ring buffer)
+//	GET    /v1/events                live job-lifecycle events (SSE)
+//	GET    /healthz, /readyz         liveness and readiness
+//	GET    /metrics                  counters, gauges, histograms
 //
 // All placement work — solo jobs, gang batches, auto-maintain recomputes —
 // executes on one process-wide work-stealing scheduler sized by
@@ -58,6 +63,10 @@ import (
 	"repro/internal/server"
 )
 
+// version labels the fpd_build_info metric; release builds override it via
+// -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -86,6 +95,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		slowPlace = fs.Duration("slow-place", 0, "warn with the stage timeline when a job's run exceeds this (0: disabled)")
 		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		quiet     = fs.Bool("q", false, "disable logging (same as -log-level above error)")
+		histIvl   = fs.Duration("history-interval", 5*time.Second, "stats-history sampling period (/v1/stats/history)")
+		histRet   = fs.Duration("history-retention", 15*time.Minute, "stats-history retention window")
+		maxTen    = fs.Int("max-tenants", 0, "distinct tenants tracked by per-tenant accounting (0: default cap; extras fold into \"(overflow)\")")
+		noAcct    = fs.Bool("no-tenant-accounting", false, "disable per-tenant resource accounting and the /v1/tenants endpoints")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +123,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		SchedWorkers:       *schedW,
 		Logger:             reqLogger,
 		SlowPlaceThreshold: *slowPlace,
+		HistoryInterval:    *histIvl,
+		HistoryRetention:   *histRet,
+		MaxTenants:         *maxTen,
+		DisableAccounting:  *noAcct,
+		Version:            version,
 	})
 	defer srv.Close()
 
@@ -144,6 +162,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	case <-ctx.Done():
 	}
 	logger.Info("fpd: shutting down")
+	// End live event streams first: an open SSE connection would hold
+	// Shutdown's drain until the grace timeout.
+	srv.ShutdownStreams()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

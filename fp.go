@@ -235,6 +235,43 @@ type StageRecord = obs.StageRecord
 // result with its Snapshot method after placement.
 func NewTrace() *Trace { return obs.NewTrace() }
 
+// TraceContext is a W3C Trace Context identity (trace-id, span-id, flags)
+// as carried by the `traceparent` HTTP header. The fpd daemon accepts or
+// mints one per request and threads it through job records, stage
+// timelines and structured logs.
+type TraceContext = obs.TraceContext
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex>") into a TraceContext; it rejects
+// malformed, all-zero and unknown-version values.
+func ParseTraceparent(s string) (TraceContext, error) { return obs.ParseTraceparent(s) }
+
+// NewTraceContext mints a fresh sampled TraceContext with random trace
+// and span ids.
+func NewTraceContext() TraceContext { return obs.NewTraceContext() }
+
+// TenantCounters accumulates one tenant's resource usage — oracle
+// evaluations, topological passes, queue waits, cache traffic. Pass one
+// via PlaceOptions.Account to attribute a placement's cost; all methods
+// are nil-safe, so a nil *TenantCounters disables accounting. Accounting
+// never changes placement results — charges are recorded strictly after
+// the algorithm's work.
+type TenantCounters = obs.TenantCounters
+
+// TenantUsage is a point-in-time JSON-ready snapshot of one tenant's
+// TenantCounters.
+type TenantUsage = obs.TenantUsage
+
+// Accountant tracks TenantCounters per tenant name with a bounded
+// tenant-count cap; the fpd daemon keeps one process-wide and serves it
+// under /v1/tenants.
+type Accountant = obs.Accountant
+
+// NewAccountant returns an Accountant tracking at most max distinct
+// tenants (max ≤ 0 uses the default cap); names past the cap fold into
+// the "(overflow)" tenant.
+func NewAccountant(max int) *Accountant { return obs.NewAccountant(max) }
+
 // Place is the unified placement engine; see PlaceOptions for the knobs.
 // It returns ctx.Err() when canceled mid-placement. Its parallel inner
 // loop executes on the process-wide scheduler shared by every placement

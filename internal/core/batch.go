@@ -37,7 +37,7 @@ func PlaceBatch(ctx context.Context, evs []flow.Evaluator, k int, opts Options) 
 		return results, nil
 	}
 	errs := make([]error, len(evs))
-	batch := sched.Default().NewBatch()
+	batch := sched.Default().NewBatch().SetTag(opts.Tenant)
 	for i := range evs {
 		i := i
 		batch.Go(func() {

@@ -81,6 +81,17 @@ type Options struct {
 	// the bit-identical arithmetic. A nil Trace records nothing and never
 	// reads the clock.
 	Trace *obs.Trace
+	// Tenant tags the scheduler batches this placement submits, so the
+	// pool's queue-wait sampler can attribute wait time to the requesting
+	// tenant. Purely observational: tags never affect scheduling order or
+	// results. Empty leaves batches untagged.
+	Tenant string
+	// Account, when non-nil, receives this placement's total oracle
+	// evaluations and topological pass counts when Place returns (on
+	// success, error and cancellation alike — the work was done either
+	// way). Accounting happens strictly after the algorithm finishes, so
+	// placements are bit-identical with accounting on or off.
+	Account *obs.TenantCounters
 }
 
 // Result is a placement outcome.
@@ -174,6 +185,7 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		f, s := passCounter.Passes()
 		res.Passes = PassStats{Forward: f - passF0, Suffix: s - passS0}
 	}
+	opts.Account.AddPlacement(int64(res.Stats.GainEvaluations), res.Passes.Forward, res.Passes.Suffix)
 	if err != nil {
 		res.Filters = nil // partial placements are not usable results
 		return res, err
@@ -255,13 +267,15 @@ type evalPool struct {
 	masks  [][]bool
 	// plan is the arena the masks were borrowed from (nil when serial).
 	plan *flow.Plan
+	// tag labels the pool's scheduler batches for tenant attribution.
+	tag string
 	// gainsBuf backs the slice gains returns; reused across rounds, so a
 	// result is only valid until the next gains call.
 	gainsBuf []float64
 }
 
-func newEvalPool(ev flow.Evaluator, procs int) *evalPool {
-	p := &evalPool{root: ev}
+func newEvalPool(ev flow.Evaluator, procs int, tag string) *evalPool {
+	p := &evalPool{root: ev, tag: tag}
 	c, ok := ev.(flow.Cloner)
 	if !ok || procs <= 1 {
 		return p
@@ -325,7 +339,7 @@ func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]fl
 	procs := min(len(p.clones), len(cands))
 	chunk := (len(cands) + procs - 1) / procs
 	errs := make([]error, procs)
-	batch := sched.Default().NewBatch()
+	batch := sched.Default().NewBatch().SetTag(p.tag)
 	for w := 0; w < procs; w++ {
 		lo, hi := w*chunk, min((w+1)*chunk, len(cands))
 		if lo >= hi {
@@ -364,7 +378,7 @@ func (p *evalPool) gains(ctx context.Context, filters []bool, cands []int) ([]fl
 func placeNaive(ctx context.Context, ev flow.Evaluator, k int, opts Options, res *Result) error {
 	m := ev.Model()
 	n := m.N()
-	pool := newEvalPool(ev, opts.Parallelism)
+	pool := newEvalPool(ev, opts.Parallelism, opts.Tenant)
 	defer pool.close()
 	res.Parallelism = pool.width()
 	filters := make([]bool, n)
@@ -481,7 +495,7 @@ func (h *celfHeap) pop() celfEntry {
 func placeCELF(ctx context.Context, ev flow.Evaluator, k int, opts Options, res *Result) error {
 	m := ev.Model()
 	n := m.N()
-	pool := newEvalPool(ev, opts.Parallelism)
+	pool := newEvalPool(ev, opts.Parallelism, opts.Tenant)
 	defer pool.close()
 	res.Parallelism = pool.width()
 	filters := make([]bool, n)

@@ -100,6 +100,20 @@ func (me *MultiEngine) Clone() Evaluator {
 	return c
 }
 
+// Passes implements PassCounter by summing the per-item engines' pass
+// counts. Each item engine shares its counter with every clone derived
+// from it, so the total attributes the multi-item placement's real pass
+// workload regardless of candidate sharding — previously multi-item
+// placements reported zero passes and escaped cost accounting entirely.
+func (me *MultiEngine) Passes() (forward, suffix int64) {
+	for _, e := range me.engines {
+		f, s := e.Passes()
+		forward += f
+		suffix += s
+	}
+	return forward, suffix
+}
+
 // ReleaseScratch implements ScratchReleaser by releasing every per-item
 // engine's borrowed arena.
 func (me *MultiEngine) ReleaseScratch() {

@@ -25,8 +25,25 @@ type Registry struct {
 	help     map[string]string
 	counters map[string]func() float64
 	gauges   map[string]func() float64
+	families map[string]labeledFamily
+	infos    map[string]string // name → rendered constant-label selector
 	hists    map[string]*Histogram
 	vecs     map[string]*HistogramVec
+}
+
+// LabeledValue is one sample of a labeled metric family: the value of
+// the family's single label plus the sample value.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
+// labeledFamily is a callback-based counter or gauge family partitioned
+// by one label; fn is sampled at scrape time and may return samples in
+// any order (exposition sorts them).
+type labeledFamily struct {
+	label string
+	fn    func() []LabeledValue
 }
 
 // NewRegistry returns an empty registry.
@@ -36,6 +53,7 @@ func NewRegistry() *Registry {
 		help:     make(map[string]string),
 		counters: make(map[string]func() float64),
 		gauges:   make(map[string]func() float64),
+		families: make(map[string]labeledFamily),
 		hists:    make(map[string]*Histogram),
 		vecs:     make(map[string]*HistogramVec),
 	}
@@ -66,6 +84,62 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	defer r.mu.Unlock()
 	r.register(name, help, "gauge")
 	r.gauges[name] = fn
+}
+
+// CounterVec registers a counter family partitioned by one label,
+// sampled from fn at scrape time. fn returns one sample per label value
+// (the per-tenant accounting series use this: the accountant snapshot is
+// taken once per scrape, not per observation).
+func (r *Registry) CounterVec(name, help, label string, fn func() []LabeledValue) {
+	r.registerFamily(name, help, label, "counter", fn)
+}
+
+// GaugeVec registers a gauge family partitioned by one label, sampled
+// from fn at scrape time.
+func (r *Registry) GaugeVec(name, help, label string, fn func() []LabeledValue) {
+	r.registerFamily(name, help, label, "gauge", fn)
+}
+
+func (r *Registry) registerFamily(name, help, label, kind string, fn func() []LabeledValue) {
+	if !metricNameRE.MatchString(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kind)
+	r.families[name] = labeledFamily{label: label, fn: fn}
+}
+
+// Info registers an always-1 gauge with constant labels — the
+// build-info idiom (fpd_build_info{version="...",go_version="..."} 1).
+// Label values are fixed at registration.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !metricNameRE.MatchString(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	sel := strings.Join(parts, ",")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, "gauge")
+	r.infoSels(name, sel)
+}
+
+// infoSels stores the rendered constant-label selector for an info
+// gauge. Kept as a tiny map to avoid another struct field per metric.
+func (r *Registry) infoSels(name, sel string) {
+	if r.infos == nil {
+		r.infos = make(map[string]string)
+	}
+	r.infos[name] = sel
 }
 
 // Histogram registers (or returns the existing) named histogram. nil
@@ -118,6 +192,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	families := make(map[string]labeledFamily, len(r.families))
+	for k, v := range r.families {
+		families[k] = v
+	}
+	infos := make(map[string]string, len(r.infos))
+	for k, v := range r.infos {
+		infos[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -139,6 +221,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			err = writeSample(w, name, "", counters[name]())
 		case gauges[name] != nil:
 			err = writeSample(w, name, "", gauges[name]())
+		case families[name].fn != nil:
+			fam := families[name]
+			samples := fam.fn()
+			sort.Slice(samples, func(i, j int) bool { return samples[i].Label < samples[j].Label })
+			for _, s := range samples {
+				sel := fmt.Sprintf("%s=%q", fam.label, s.Label)
+				if err = writeSample(w, name, sel, s.Value); err != nil {
+					break
+				}
+			}
+		case infos[name] != "":
+			err = writeSample(w, name, infos[name], 1)
 		case hists[name] != nil:
 			err = writeHistogram(w, name, "", hists[name].Snapshot())
 		case vecs[name] != nil:

@@ -40,6 +40,46 @@ type Trace struct {
 	// histogram family keyed by stage name — the fpd_place_stage_seconds
 	// exposition path.
 	sink *HistogramVec
+	// onStage, when set, fires once per distinct stage name, on first
+	// occurrence only — the SSE live-event path, which wants "the job
+	// entered stage X", not one event per merged span of a 50-round
+	// placement.
+	onStage func(name string)
+	// traceparent carries the W3C trace identity the job runs under, so
+	// any holder of the trace can correlate it across processes.
+	traceparent string
+}
+
+// SetTraceParent attaches a W3C traceparent value to the trace.
+func (t *Trace) SetTraceParent(tp string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceparent = tp
+	t.mu.Unlock()
+}
+
+// TraceParent returns the trace's W3C traceparent value, if set.
+func (t *Trace) TraceParent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceparent
+}
+
+// SetStageObserver installs fn to be called the first time each distinct
+// stage name is recorded. fn runs outside the trace lock and must be
+// safe for concurrent use.
+func (t *Trace) SetStageObserver(fn func(name string)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onStage = fn
+	t.mu.Unlock()
 }
 
 // NewTrace starts a trace; stage offsets are relative to this call.
@@ -149,6 +189,12 @@ func (t *Trace) record(name string, start time.Time, d time.Duration, evals int6
 			Evals:      evals,
 			Workers:    workers,
 		})
+		if fn := t.onStage; fn != nil {
+			t.mu.Unlock()
+			fn(name)
+			t.sinkObserve(name, d)
+			return
+		}
 	}
 	t.mu.Unlock()
 	t.sinkObserve(name, d)

@@ -47,9 +47,10 @@ type Pool struct {
 	queued  int        // tasks submitted and not yet started
 	closed  bool
 	// sampler, when installed, observes each task's queue wait (submit →
-	// start). Tasks are only wrapped while a sampler is set, so the
-	// default nil costs nothing — no clock reads, no extra closure.
-	sampler func(wait time.Duration)
+	// start) along with the submitting batch's tag — the tenant-
+	// attribution hook. Tasks are only wrapped while a sampler is set, so
+	// the default nil costs nothing — no clock reads, no extra closure.
+	sampler func(tag string, wait time.Duration)
 }
 
 // NewPool starts a pool with the given number of worker goroutines.
@@ -123,11 +124,13 @@ func (p *Pool) ChunkHint() int {
 
 // SetQueueWaitSampler installs fn to observe every task's queue wait —
 // the time from Batch.Go to the task starting, whether it starts on a
-// stealing pool worker or on the submitter helping inline. fpd feeds
-// the samples into its fpd_sched_queue_wait_seconds histogram; nil
-// uninstalls. fn runs on the executing goroutine just before the task
-// and must be fast and concurrency-safe.
-func (p *Pool) SetQueueWaitSampler(fn func(wait time.Duration)) {
+// stealing pool worker or on the submitter helping inline. tag is the
+// submitting batch's tag (see Batch.SetTag; empty for untagged internal
+// batches), which fpd uses to attribute scheduler wait to tenants on
+// top of the fpd_sched_queue_wait_seconds histogram; nil uninstalls. fn
+// runs on the executing goroutine just before the task and must be fast
+// and concurrency-safe.
+func (p *Pool) SetQueueWaitSampler(fn func(tag string, wait time.Duration)) {
 	p.mu.Lock()
 	p.sampler = fn
 	p.mu.Unlock()
@@ -160,11 +163,21 @@ type Batch struct {
 	tasks   []func() // queued, not yet started (FIFO)
 	pending int      // submitted and not yet finished
 	idle    *sync.Cond
+	tag     string // attribution tag passed to the queue-wait sampler
 }
 
 // NewBatch creates an empty batch on the pool.
 func (p *Pool) NewBatch() *Batch {
 	return &Batch{pool: p, idle: sync.NewCond(&p.mu)}
+}
+
+// SetTag labels the batch for the pool's queue-wait sampler (fpd tags
+// placement gangs with the submitting tenant). Purely observational —
+// tags never affect scheduling order. Returns the batch for chaining;
+// call before the first Go.
+func (b *Batch) SetTag(tag string) *Batch {
+	b.tag = tag
+	return b
 }
 
 // Go submits one task. Tasks must not panic; they may themselves create
@@ -175,9 +188,9 @@ func (b *Batch) Go(fn func()) {
 	p.mu.Lock()
 	if sample := p.sampler; sample != nil {
 		submitted := time.Now()
-		task := fn
+		task, tag := fn, b.tag
 		fn = func() {
-			sample(time.Since(submitted))
+			sample(tag, time.Since(submitted))
 			task()
 		}
 	}

@@ -200,28 +200,35 @@ func TestDefaultPoolSingleton(t *testing.T) {
 }
 
 // TestQueueWaitSampler: every task submitted while a sampler is
-// installed produces exactly one non-negative sample — whether it runs
-// on a pool worker or inline on the helping submitter — and uninstalling
-// stops sampling.
+// installed produces exactly one non-negative sample carrying the
+// batch's tag — whether it runs on a pool worker or inline on the
+// helping submitter — and uninstalling stops sampling.
 func TestQueueWaitSampler(t *testing.T) {
 	for _, workers := range []int{0, 2} {
 		p := NewPool(workers)
 		defer p.Close()
 		var samples atomic.Int64
 		var negative atomic.Int64
-		p.SetQueueWaitSampler(func(wait time.Duration) {
+		var wrongTag atomic.Int64
+		p.SetQueueWaitSampler(func(tag string, wait time.Duration) {
 			samples.Add(1)
 			if wait < 0 {
 				negative.Add(1)
 			}
+			if tag != "tenant-a" {
+				wrongTag.Add(1)
+			}
 		})
 		const tasks = 50
-		b := p.NewBatch()
+		b := p.NewBatch().SetTag("tenant-a")
 		var ran atomic.Int64
 		for i := 0; i < tasks; i++ {
 			b.Go(func() { ran.Add(1) })
 		}
 		b.Wait()
+		if wrongTag.Load() != 0 {
+			t.Errorf("workers=%d: %d samples with wrong tag", workers, wrongTag.Load())
+		}
 		if ran.Load() != tasks {
 			t.Fatalf("workers=%d: ran %d tasks, want %d", workers, ran.Load(), tasks)
 		}

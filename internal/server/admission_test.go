@@ -14,7 +14,7 @@ import (
 func gangJob(t *testing.T, e *JobEngine, key string, fn func(context.Context) (*PlaceResult, error)) JobInfo {
 	t.Helper()
 	bs := newBatchState([]BatchItem{{GraphID: "g", State: JobQueued}})
-	info, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, key, bs, fn)
+	info, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, key, JobMeta{}, bs, fn)
 	if err != nil {
 		t.Fatalf("gang submit: %v", err)
 	}
@@ -78,17 +78,17 @@ func TestGangDeferredWhenQueueFull(t *testing.T) {
 	release := make(chan struct{})
 
 	// Occupy the single worker, then the single queue slot.
-	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "run", blockingFn(release))
+	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "run", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	if _, err := e.SubmitFunc("g2", PlaceSpec{Algorithm: "gall", K: 1}, "queued", blockingFn(release)); err != nil {
+	if _, err := e.SubmitFunc("g2", PlaceSpec{Algorithm: "gall", K: 1}, "queued", JobMeta{}, blockingFn(release)); err != nil {
 		t.Fatal(err)
 	}
 
 	// Solo: immediate back pressure, exactly as before.
-	if _, err := e.SubmitFunc("g3", PlaceSpec{Algorithm: "gall", K: 1}, "solo", okFn); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.SubmitFunc("g3", PlaceSpec{Algorithm: "gall", K: 1}, "solo", JobMeta{}, okFn); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("solo on full queue: err %v, want ErrQueueFull", err)
 	}
 	// Gang: parked instead.
@@ -100,7 +100,7 @@ func TestGangDeferredWhenQueueFull(t *testing.T) {
 	// The deferred bound is still a bound: maxDeferred defaults to the
 	// queue depth (1 here), so a second gang is rejected.
 	bs := newBatchState([]BatchItem{{GraphID: "g", State: JobQueued}})
-	if _, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, "batch|k2", bs, okFn); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.SubmitBatch("g", PlaceSpec{Algorithm: "gall", K: 1}, "batch|k2", JobMeta{}, bs, okFn); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("gang beyond deferred bound: err %v, want ErrQueueFull", err)
 	}
 	if got := metrics.JobsRejected.Load(); got != 2 {

@@ -8,14 +8,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/flow"
 	"repro/internal/sched"
 )
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. RequestID
+// echoes the X-Request-ID header so a client can quote one token when
+// reporting a failure; RetryAfterSeconds mirrors the Retry-After header
+// on 503 admission rejections.
 type errorBody struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	RequestID         string `json:"request_id,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -26,9 +32,41 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// requestIDOf recovers the request id for error bodies: from the stamped
+// context normally, from the already-set response header on the one path
+// (stampRequest's own rejection) that errors before stamping completes.
+func requestIDOf(w http.ResponseWriter, r *http.Request) string {
+	if id := reqFrom(r.Context()).id; id != "" {
+		return id
+	}
+	return w.Header().Get("X-Request-ID")
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
 	s.metrics.RequestErrors.Add(1)
-	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	s.writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: requestIDOf(w, r),
+	})
+}
+
+// writeQueueFull is the 503 admission-rejection path: the Retry-After
+// header (and its JSON mirror) is priced from the job engine's observed
+// drain rate, so a saturated daemon tells clients when capacity is
+// actually expected rather than having them hammer a fixed backoff.
+func (s *Server) writeQueueFull(w http.ResponseWriter, r *http.Request, err error) {
+	retry := s.jobs.RetryAfterEstimate()
+	secs := int((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.metrics.RequestErrors.Add(1)
+	s.writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error:             fmt.Sprintf("%v; retry later", err),
+		RequestID:         requestIDOf(w, r),
+		RetryAfterSeconds: secs,
+	})
 }
 
 // decodeBody strictly decodes a JSON request body into v.
@@ -36,7 +74,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -51,7 +89,7 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	g, sources, err := spec.Build()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "graph spec: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "graph spec: %v", err)
 		return
 	}
 	m, err := flow.NewModel(g, sources)
@@ -59,7 +97,7 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		// Cyclic uploads and bad sources are client errors: the model
 		// semantics require a DAG (use the library's Acyclic extraction
 		// offline for cyclic datasets).
-		s.writeError(w, http.StatusUnprocessableEntity, "invalid model: %v", err)
+		s.writeError(w, r, http.StatusUnprocessableEntity, "invalid model: %v", err)
 		return
 	}
 	info := s.registry.Add(spec.Name, m)
@@ -77,7 +115,7 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	_, info, ok := s.registry.Get(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, info)
@@ -87,7 +125,7 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.registry.Delete(id) {
-		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -115,7 +153,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	m, info, ok := s.registry.Get(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	var spec PlaceSpec
@@ -124,19 +162,20 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	algo, err := spec.validate(m, s.maxParallelism)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "place spec: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "place spec: %v", err)
 		return
 	}
 	m, sources, err := resolveModel(m, spec.Sources)
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "sources override: %v", err)
+		s.writeError(w, r, http.StatusUnprocessableEntity, "sources override: %v", err)
 		return
 	}
 
+	tc := s.tenantCounters(r)
 	if !algo.async {
-		res, err := spec.execute(r.Context(), algo, m, id, s.metrics)
+		res, err := spec.execute(r.Context(), algo, m, id, s.metrics, tc)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, "placement: %v", err)
+			s.writeError(w, r, http.StatusInternalServerError, "placement: %v", err)
 			return
 		}
 		s.metrics.SyncPlacements.Add(1)
@@ -146,22 +185,24 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 
 	key := spec.cacheKey(id, info.Patches, sources)
 	if res, ok := s.cache.get(key); ok {
+		tc.AddCacheHit()
 		s.writeJSON(w, http.StatusOK, res)
 		return
 	}
+	tc.AddCacheMiss()
 	// The job's work runs through runShared, so a solo job racing a gang
 	// sub-placement (or another solo) on the same per-graph key joins the
 	// in-flight computation instead of duplicating it; runShared also
 	// fills the cache slot.
-	job, err := s.jobs.SubmitFunc(id, spec, key, func(ctx context.Context) (*PlaceResult, error) {
-		return s.runShared(ctx, key, spec, algo, m, id)
+	job, err := s.jobs.SubmitFunc(id, spec, key, jobMetaOf(r), func(ctx context.Context) (*PlaceResult, error) {
+		return s.runShared(ctx, key, spec, algo, m, id, tc)
 	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		s.writeError(w, http.StatusServiceUnavailable, "%v; retry later", err)
+		s.writeQueueFull(w, r, err)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -174,22 +215,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	m, _, ok := s.registry.Get(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	filters, err := parseNodeList(r.URL.Query().Get("filters"), m.N())
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "filters: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "filters: %v", err)
 		return
 	}
 	if srcParam := r.URL.Query().Get("sources"); srcParam != "" {
 		sources, err := parseNodeList(srcParam, m.N())
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "sources: %v", err)
+			s.writeError(w, r, http.StatusBadRequest, "sources: %v", err)
 			return
 		}
 		if m, _, err = resolveModel(m, sources); err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, "sources override: %v", err)
+			s.writeError(w, r, http.StatusUnprocessableEntity, "sources override: %v", err)
 			return
 		}
 	}
@@ -244,7 +285,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	info, ok := s.jobs.Get(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, info)
@@ -256,18 +297,44 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	info, ok := s.jobs.Cancel(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, info)
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz: liveness. It answers 200 whenever the
+// process can serve HTTP at all; readiness (can it take work?) is
+// /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"graphs": s.registry.Len(),
 	})
+}
+
+// handleReadyz is GET /readyz: readiness. Each subsystem reports a named
+// check; any failing check turns the response 503 so a load balancer
+// stops routing work here (a closed job engine, in particular, rejects
+// every async placement).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := true
+	checks := map[string]string{
+		"registry": fmt.Sprintf("ok (%d graphs)", s.registry.Len()),
+		"sched":    fmt.Sprintf("ok (%d workers)", sched.Default().Workers()),
+		"history":  fmt.Sprintf("ok (%d samples)", s.history.Len()),
+	}
+	if s.jobs.Closed() {
+		checks["job_engine"] = "closed"
+		ready = false
+	} else {
+		checks["job_engine"] = "ok"
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, map[string]any{"ready": ready, "checks": checks})
 }
 
 // handleMetrics is GET /metrics. The counter snapshot is augmented with
@@ -278,14 +345,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // histograms — is served for ?format=prometheus or an Accept header
 // preferring text/plain (what a Prometheus scraper sends).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	snap.JobQueueDepth = int64(s.jobs.QueueDepth())
-	snap.CacheEntries = int64(s.cache.len())
-	snap.SchedQueueDepth = int64(sched.Default().QueueDepth())
-	snap.SchedWorkers = int64(sched.Default().Workers())
-	waiting, oldest := s.jobs.DeferredStats()
-	snap.JobsDeferredWaiting = int64(waiting)
-	snap.OldestDeferredAgeSeconds = oldest.Seconds()
+	snap := s.sampleSnapshot()
 
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -295,6 +355,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// sampleSnapshot couples the counter snapshot with the point-in-time
+// gauges sampled from the live subsystems. Shared by /metrics and the
+// stats-history sampler so both report identical readings.
+func (s *Server) sampleSnapshot() MetricsSnapshot {
+	snap := s.metrics.Snapshot()
+	snap.JobQueueDepth = int64(s.jobs.QueueDepth())
+	snap.CacheEntries = int64(s.cache.len())
+	snap.SchedQueueDepth = int64(sched.Default().QueueDepth())
+	snap.SchedWorkers = int64(sched.Default().Workers())
+	waiting, oldest := s.jobs.DeferredStats()
+	snap.JobsDeferredWaiting = int64(waiting)
+	snap.OldestDeferredAgeSeconds = oldest.Seconds()
+	snap.EventsSubscribers = int64(s.events.subscribers())
+	snap.HistorySamples = int64(s.history.Len())
+	snap.TenantsTracked = int64(s.acct.Len())
+	return snap
 }
 
 // wantsPrometheus decides the /metrics response format: an explicit

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -124,7 +125,7 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(breq.Graphs) == 0 {
-		s.writeError(w, http.StatusBadRequest, "batch spec: empty graph list")
+		s.writeError(w, r, http.StatusBadRequest, "batch spec: empty graph list")
 		return
 	}
 	ids := slices.Clone(breq.Graphs)
@@ -132,6 +133,7 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	ids = slices.Compact(ids)
 
 	spec := breq.Spec
+	tc := s.tenantCounters(r)
 	var (
 		algo   algoSpec
 		items  = make([]BatchItem, 0, len(ids))
@@ -141,7 +143,7 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	for _, id := range ids {
 		m, info, ok := s.registry.Get(id)
 		if !ok {
-			s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+			s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 			return
 		}
 		// validate normalizes the spec in place; the normalization is
@@ -149,19 +151,21 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		// checks differ per graph.
 		var err error
 		if algo, err = spec.validate(m, s.maxParallelism); err != nil {
-			s.writeError(w, http.StatusBadRequest, "place spec (graph %s): %v", id, err)
+			s.writeError(w, r, http.StatusBadRequest, "place spec (graph %s): %v", id, err)
 			return
 		}
 		m, sources, err := resolveModel(m, spec.Sources)
 		if err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, "sources override (graph %s): %v", id, err)
+			s.writeError(w, r, http.StatusUnprocessableEntity, "sources override (graph %s): %v", id, err)
 			return
 		}
 		key := spec.cacheKey(id, info.Patches, sources)
 		if res, ok := s.cache.get(key); ok {
+			tc.AddCacheHit()
 			items = append(items, BatchItem{GraphID: id, State: JobDone, Result: res})
 			continue
 		}
+		tc.AddCacheMiss()
 		items = append(items, BatchItem{GraphID: id, State: JobQueued})
 		misses = append(misses, batchMiss{graphID: id, model: m, key: key})
 		keys = append(keys, key)
@@ -178,13 +182,13 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	// keys exclude parallelism, so the gang key does too.
 	bs := newBatchState(items)
 	gangKey := "batch|" + strings.Join(keys, "&")
-	job, err := s.jobs.SubmitBatch(strings.Join(ids, ","), spec, gangKey, bs, s.runBatch(misses, spec, algo, bs))
+	job, err := s.jobs.SubmitBatch(strings.Join(ids, ","), spec, gangKey, jobMetaOf(r), bs, s.runBatch(misses, spec, algo, bs, tc))
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		s.writeError(w, http.StatusServiceUnavailable, "%v; retry later", err)
+		s.writeQueueFull(w, r, err)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -195,10 +199,12 @@ func (s *Server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 // running the ordinary execute path, reporting its own state transitions
 // and filling its own cache slot as it completes — so a gang interrupted
 // mid-flight still leaves every finished graph cached and marked done.
-func (s *Server) runBatch(misses []batchMiss, spec PlaceSpec, algo algoSpec, bs *batchState) func(context.Context) (*PlaceResult, error) {
+// The gang is tagged with the submitting tenant so its scheduler queue
+// waits are attributed in the per-tenant accounting.
+func (s *Server) runBatch(misses []batchMiss, spec PlaceSpec, algo algoSpec, bs *batchState, tc *obs.TenantCounters) func(context.Context) (*PlaceResult, error) {
 	return func(ctx context.Context) (*PlaceResult, error) {
 		errs := make([]error, len(misses))
-		gang := sched.Default().NewBatch()
+		gang := sched.Default().NewBatch().SetTag(tc.Name())
 		for i := range misses {
 			i := i
 			gang.Go(func() {
@@ -215,7 +221,7 @@ func (s *Server) runBatch(misses []batchMiss, spec PlaceSpec, algo algoSpec, bs 
 				// queued), registers the per-graph key in the flight table
 				// so identical work in flight is joined instead of
 				// duplicated, and fills the cache slot on success.
-				res, err := s.runShared(ctx, ms.key, spec, algo, ms.model, ms.graphID)
+				res, err := s.runShared(ctx, ms.key, spec, algo, ms.model, ms.graphID, tc)
 				s.metrics.BatchGraphsInflight.Add(-1)
 				if err != nil {
 					errs[i] = err

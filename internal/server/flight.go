@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 )
 
 // Cross-kind in-flight dedup. The job engine's active-key map dedups
@@ -68,7 +69,11 @@ func (t *flightTable) finish(key string, f *flight, res *PlaceResult, err error)
 // the followers) or waits for the current leader. A follower whose leader
 // fails or is canceled retries — its own context may still be live, and
 // correctness must not depend on another request's lifecycle.
-func (s *Server) runShared(ctx context.Context, key string, spec PlaceSpec, algo algoSpec, m *flow.Model, graphID string) (*PlaceResult, error) {
+//
+// tc is the tenant the computation is charged to. Only the leader's
+// tenant pays for the oracle work — the work runs once, so charging the
+// followers too would double-bill shared computations.
+func (s *Server) runShared(ctx context.Context, key string, spec PlaceSpec, algo algoSpec, m *flow.Model, graphID string, tc *obs.TenantCounters) (*PlaceResult, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -78,7 +83,7 @@ func (s *Server) runShared(ctx context.Context, key string, spec PlaceSpec, algo
 		}
 		f, leader := s.flights.join(key)
 		if leader {
-			res, err := spec.execute(ctx, algo, m, graphID, s.metrics)
+			res, err := spec.execute(ctx, algo, m, graphID, s.metrics, tc)
 			if err == nil {
 				s.cache.put(key, res)
 			}

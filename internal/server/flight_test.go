@@ -67,16 +67,16 @@ func TestCrossKindDedupGangSoloRace(t *testing.T) {
 	}
 
 	// Solo job, exactly as handlePlace submits it.
-	solo, err := srv.jobs.SubmitFunc(info.ID, spec, key, func(ctx context.Context) (*PlaceResult, error) {
-		return srv.runShared(ctx, key, spec, algo, m, info.ID)
+	solo, err := srv.jobs.SubmitFunc(info.ID, spec, key, JobMeta{}, func(ctx context.Context) (*PlaceResult, error) {
+		return srv.runShared(ctx, key, spec, algo, m, info.ID, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Gang job over the same graph, exactly as handlePlaceBatch submits it.
 	bs := newBatchState([]BatchItem{{GraphID: info.ID, State: JobQueued}})
-	gang, err := srv.jobs.SubmitBatch(info.ID, spec, "batch|"+key, bs,
-		srv.runBatch([]batchMiss{{graphID: info.ID, model: m, key: key}}, spec, algo, bs))
+	gang, err := srv.jobs.SubmitBatch(info.ID, spec, "batch|"+key, JobMeta{}, bs,
+		srv.runBatch([]batchMiss{{graphID: info.ID, model: m, key: key}}, spec, algo, bs, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestFlightFollowerRetriesAfterLeaderFailure(t *testing.T) {
 	}
 	got := make(chan out, 1)
 	go func() {
-		res, err := srv.runShared(context.Background(), key, spec, algo, m, info.ID)
+		res, err := srv.runShared(context.Background(), key, spec, algo, m, info.ID, nil)
 		got <- out{res, err}
 	}()
 	// Wait for the follower to park, then fail the leader.

@@ -33,6 +33,17 @@ var ErrQueueFull = errors.New("server: job queue full")
 // ErrClosed is returned by Submit after the engine has shut down.
 var ErrClosed = errors.New("server: job engine closed")
 
+// JobMeta carries the request identity a job was created under: the
+// tenant its work is accounted to, the client-visible request id, and
+// the W3C traceparent so the job's timeline and logs join the caller's
+// distributed trace. The zero value (direct library use) means the
+// default tenant and no trace.
+type JobMeta struct {
+	Tenant      string
+	RequestID   string
+	Traceparent string
+}
+
 // JobInfo is the JSON view of a job served by GET /v1/jobs/{id}.
 type JobInfo struct {
 	ID      string       `json:"id"`
@@ -41,6 +52,11 @@ type JobInfo struct {
 	State   JobState     `json:"state"`
 	Error   string       `json:"error,omitempty"`
 	Result  *PlaceResult `json:"result,omitempty"`
+	// Tenant, RequestID and Traceparent echo the identity of the request
+	// that submitted the job (see JobMeta).
+	Tenant      string `json:"tenant,omitempty"`
+	RequestID   string `json:"request_id,omitempty"`
+	Traceparent string `json:"traceparent,omitempty"`
 	// Batch holds the per-graph sub-placements of a gang-submitted batch
 	// job, in canonical (sorted) graph order; nil for ordinary jobs.
 	Batch     []BatchItem `json:"batch,omitempty"`
@@ -70,6 +86,9 @@ type job struct {
 	// batch, when set, tracks the per-graph sub-placements of a gang job;
 	// it has its own mutex and is safe to snapshot under the engine lock.
 	batch *batchState
+	// meta is the submitting request's identity (immutable after
+	// construction, so event publication may read it without the lock).
+	meta JobMeta
 
 	state    JobState
 	result   *PlaceResult
@@ -122,6 +141,12 @@ type JobEngine struct {
 	dispStop chan struct{}
 	dispKick chan struct{} // 1-buffered nudge: a gang was just parked
 	dispWG   sync.WaitGroup
+
+	// doneTimes is a ring of recent job completion instants; the observed
+	// drain rate prices the Retry-After hint on 503 admission rejections.
+	doneTimes [completionRingSize]time.Time
+	doneIdx   int
+	doneN     int
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -190,8 +215,10 @@ func NewJobEngine(workers, queueDepth, maxJobs int, cache *resultCache, m *Metri
 // submission dedup: an identical request already queued or running —
 // same cache key — is not duplicated, the existing job is returned, so
 // client retries and concurrent identical queries share one computation.
-func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
-	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, runFn: fn})
+// meta attributes the job to the submitting request (zero value for
+// direct library use).
+func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, meta JobMeta, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
+	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, meta: meta, runFn: fn})
 }
 
 // SubmitBatch enqueues a gang job: one record whose closure runs a whole
@@ -199,8 +226,40 @@ func (e *JobEngine) SubmitFunc(graphID string, spec PlaceSpec, key string, fn fu
 // (surfaced as JobInfo.Batch). key dedups identical in-flight gangs; the
 // closure populates per-graph cache entries itself, so the job-level
 // result stays nil.
-func (e *JobEngine) SubmitBatch(graphID string, spec PlaceSpec, key string, bs *batchState, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
-	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, batch: bs, runFn: fn})
+func (e *JobEngine) SubmitBatch(graphID string, spec PlaceSpec, key string, meta JobMeta, bs *batchState, fn func(context.Context) (*PlaceResult, error)) (JobInfo, error) {
+	return e.enqueue(&job{graphID: graphID, spec: spec, key: key, meta: meta, batch: bs, runFn: fn})
+}
+
+// event builds the skeleton lifecycle event for the job; every field it
+// reads is immutable after construction.
+func (j *job) event(typ string) JobEvent {
+	return JobEvent{
+		Type:        typ,
+		JobID:       j.id,
+		GraphID:     j.graphID,
+		Algorithm:   j.spec.Algorithm,
+		Tenant:      j.meta.Tenant,
+		RequestID:   j.meta.RequestID,
+		Traceparent: j.meta.Traceparent,
+	}
+}
+
+// publish forwards a lifecycle event to the server's event bus; a nil
+// engineObs (direct library use) drops it. Safe under e.mu: the bus has
+// its own lock and never calls back into the engine.
+func (e *JobEngine) publish(ev JobEvent) {
+	if e.obs != nil {
+		e.obs.events.publish(ev)
+	}
+}
+
+// tenant resolves the accounting sink for a tenant name; nil (a no-op)
+// without an engineObs or when accounting is disabled.
+func (e *JobEngine) tenant(name string) *obs.TenantCounters {
+	if e.obs == nil {
+		return nil
+	}
+	return e.obs.acct.Tenant(name)
 }
 
 // enqueue assigns the job id and runs the shared admission bookkeeping:
@@ -223,6 +282,7 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	j.state = JobQueued
 	j.created = time.Now().UTC()
 	j.trace = obs.NewTrace() // t0 = submission; stage offsets are relative to it
+	j.trace.SetTraceParent(j.meta.Traceparent)
 	j.done = make(chan struct{})
 	deferredJob := false
 	admit := true
@@ -259,7 +319,14 @@ func (e *JobEngine) enqueue(j *job) (JobInfo, error) {
 	e.order = append(e.order, j.id)
 	e.active[j.key] = j
 	info := e.infoLocked(j)
+	// Published under the lock so a worker grabbing the job cannot emit
+	// "started" ahead of "submitted"; the bus never blocks or re-enters.
+	e.publish(j.event(EventSubmitted))
+	if deferredJob {
+		e.publish(j.event(EventDeferred))
+	}
 	e.mu.Unlock()
+	e.tenant(j.meta.Tenant).AddJobSubmitted()
 	e.metrics.JobsSubmitted.Add(1)
 	if deferredJob {
 		e.metrics.JobsDeferred.Add(1)
@@ -372,7 +439,9 @@ func (e *JobEngine) worker() {
 				j.batch.cancelPending()
 			}
 			e.retireLocked(j)
+			e.publish(j.event(EventCanceled))
 			e.mu.Unlock()
+			e.tenant(j.meta.Tenant).AddJobOutcome(string(JobCanceled))
 			e.metrics.JobsCanceled.Add(1)
 			close(j.done)
 			continue
@@ -387,10 +456,18 @@ func (e *JobEngine) worker() {
 				e.obs.queueWait.Observe(j.started.Sub(j.created))
 			}
 			// Core placement stages recorded between here and SetSink(nil)
-			// below also feed the fpd_place_stage_seconds histograms.
+			// below also feed the fpd_place_stage_seconds histograms, and
+			// each first-seen stage name becomes one live "stage" event.
 			j.trace.SetSink(e.obs.stageSink)
+			j.trace.SetStageObserver(func(name string) {
+				ev := j.event(EventStage)
+				ev.Stage = name
+				e.publish(ev)
+			})
 		}
+		e.publish(j.event(EventStarted))
 		e.mu.Unlock()
+		e.tenant(j.meta.Tenant).AddQueueWait(j.started.Sub(j.created))
 
 		e.metrics.JobsRunning.Add(1)
 		res, err := j.runFn(obs.NewContext(ctx, j.trace))
@@ -400,6 +477,7 @@ func (e *JobEngine) worker() {
 		e.mu.Lock()
 		j.finished = time.Now().UTC()
 		j.trace.SetSink(nil)
+		j.trace.SetStageObserver(nil)
 		elapsed := j.finished.Sub(j.started)
 		j.trace.Observe("run", j.started, elapsed)
 		if e.obs != nil && e.obs.runTime != nil {
@@ -424,11 +502,80 @@ func (e *JobEngine) worker() {
 			e.metrics.JobsFailed.Add(1)
 		}
 		e.retireLocked(j)
+		e.doneTimes[e.doneIdx] = j.finished
+		e.doneIdx = (e.doneIdx + 1) % completionRingSize
+		if e.doneN < completionRingSize {
+			e.doneN++
+		}
+		terminal := j.event(terminalEvent(j.state))
+		terminal.Error = j.errMsg
+		e.publish(terminal)
 		state, errMsg := j.state, j.errMsg
 		e.mu.Unlock()
+		tc := e.tenant(j.meta.Tenant)
+		tc.AddRunTime(elapsed)
+		tc.AddJobOutcome(string(state))
 		e.logJobDone(j, state, errMsg, elapsed)
 		close(j.done)
 	}
+}
+
+// terminalEvent maps a terminal job state to its event type.
+func terminalEvent(st JobState) string {
+	switch st {
+	case JobDone:
+		return EventFinished
+	case JobFailed:
+		return EventFailed
+	default:
+		return EventCanceled
+	}
+}
+
+// completionRingSize bounds the Retry-After drain-rate sample window.
+const completionRingSize = 32
+
+// RetryAfterEstimate prices the Retry-After hint attached to 503 queue
+// rejections: the average interval between recent job completions times
+// the work currently ahead of a new arrival, clamped to [1s, 60s]. With
+// fewer than two completions observed there is no rate yet; a flat 2s
+// keeps clients polling rather than stampeding.
+func (e *JobEngine) RetryAfterEstimate() time.Duration {
+	e.mu.Lock()
+	pending := len(e.queue) + len(e.deferred)
+	n := e.doneN
+	var oldest, newest time.Time
+	if n >= 2 {
+		newest = e.doneTimes[(e.doneIdx-1+completionRingSize)%completionRingSize]
+		if n < completionRingSize {
+			oldest = e.doneTimes[0]
+		} else {
+			oldest = e.doneTimes[e.doneIdx]
+		}
+	}
+	e.mu.Unlock()
+
+	est := 2 * time.Second
+	if n >= 2 {
+		if avg := newest.Sub(oldest) / time.Duration(n-1); avg > 0 {
+			est = avg * time.Duration(pending+1)
+		}
+	}
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Closed reports whether the engine has been shut down (the /readyz
+// check: a closed engine can accept no more work).
+func (e *JobEngine) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
 }
 
 // queuedFrom is the instant the job last entered the worker queue: its
@@ -454,6 +601,15 @@ func (e *JobEngine) logJobDone(j *job, state JobState, errMsg string, elapsed ti
 		"algorithm", j.spec.Algorithm,
 		"state", string(state),
 		"elapsed", elapsed.Round(time.Microsecond),
+	}
+	if j.meta.Tenant != "" {
+		attrs = append(attrs, "tenant", j.meta.Tenant)
+	}
+	if j.meta.RequestID != "" {
+		attrs = append(attrs, "request_id", j.meta.RequestID)
+	}
+	if j.meta.Traceparent != "" {
+		attrs = append(attrs, "traceparent", j.meta.Traceparent)
 	}
 	if errMsg != "" {
 		attrs = append(attrs, "error", errMsg)
@@ -501,6 +657,8 @@ func (e *JobEngine) Cancel(id string) (JobInfo, bool) {
 		}
 		e.metrics.JobsCanceled.Add(1)
 		e.retireLocked(j)
+		e.publish(j.event(EventCanceled))
+		e.tenant(j.meta.Tenant).AddJobOutcome(string(JobCanceled))
 		close(j.done)
 	case JobRunning:
 		j.cancel()
@@ -595,6 +753,8 @@ func (e *JobEngine) Close() {
 			j.batch.cancelPending()
 		}
 		e.retireLocked(j)
+		e.publish(j.event(EventCanceled))
+		e.tenant(j.meta.Tenant).AddJobOutcome(string(JobCanceled))
 		e.metrics.JobsCanceled.Add(1)
 		close(j.done)
 	}
@@ -606,13 +766,16 @@ func (e *JobEngine) Close() {
 
 func (e *JobEngine) infoLocked(j *job) JobInfo {
 	info := JobInfo{
-		ID:      j.id,
-		GraphID: j.graphID,
-		Spec:    j.spec,
-		State:   j.state,
-		Error:   j.errMsg,
-		Result:  j.result,
-		Created: j.created,
+		ID:          j.id,
+		GraphID:     j.graphID,
+		Spec:        j.spec,
+		State:       j.state,
+		Error:       j.errMsg,
+		Result:      j.result,
+		Tenant:      j.meta.Tenant,
+		RequestID:   j.meta.RequestID,
+		Traceparent: j.meta.Traceparent,
+		Created:     j.created,
 	}
 	if j.batch != nil {
 		// batchState has its own mutex and never acquires the engine's,

@@ -68,7 +68,7 @@ func TestCancelRunningJob(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 
-	info, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", blockingFn(release))
+	info, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +95,12 @@ func TestCancelQueuedJob(t *testing.T) {
 	defer e.Close()
 	release := make(chan struct{})
 
-	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", blockingFn(release))
+	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "k1", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	queued, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 2}, "k2", blockingFn(release))
+	queued, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 2}, "k2", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,15 +128,15 @@ func TestQueueFullRejects(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 
-	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", blockingFn(release))
+	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 2}, "k2", blockingFn(release)); err != nil {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 2}, "k2", JobMeta{}, blockingFn(release)); err != nil {
 		t.Fatalf("queue slot should be free: %v", err)
 	}
-	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 3}, "k3", blockingFn(release)); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 3}, "k3", JobMeta{}, blockingFn(release)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if metrics.JobsRejected.Load() != 1 {
@@ -147,7 +147,7 @@ func TestQueueFullRejects(t *testing.T) {
 func TestEngineCloseCancelsRunning(t *testing.T) {
 	e, _ := newTestEngine(2, 4)
 	never := make(chan struct{}) // only the context can unblock the job
-	info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", blockingFn(never))
+	info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k1", JobMeta{}, blockingFn(never))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestEngineCloseCancelsRunning(t *testing.T) {
 	if got, _ := e.Get(info.ID); got.State != JobCanceled {
 		t.Errorf("state after close = %s, want canceled", got.State)
 	}
-	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k2", blockingFn(never)); !errors.Is(err, ErrClosed) {
+	if _, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "k2", JobMeta{}, blockingFn(never)); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after close: err = %v, want ErrClosed", err)
 	}
 	e.Close() // idempotent
@@ -191,7 +191,7 @@ func TestCloseRacesSubmitAndCancel(t *testing.T) {
 				defer wg.Done()
 				for i := 0; i < 16; i++ {
 					info, err := e.SubmitFunc("g1", PlaceSpec{K: 1},
-						fmt.Sprintf("key-%d-%d", g, i), slow)
+						fmt.Sprintf("key-%d-%d", g, i), JobMeta{}, slow)
 					if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
 						continue
 					}
@@ -246,7 +246,7 @@ func TestCloseRacesSubmitAndCancel(t *testing.T) {
 func TestCloseDoesNotRunQueuedBacklog(t *testing.T) {
 	e, _ := newTestEngine(1, 16)
 	release := make(chan struct{})
-	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "running", blockingFn(release))
+	running, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, "running", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestCloseDoesNotRunQueuedBacklog(t *testing.T) {
 	var ran atomic.Int64
 	var queued []string
 	for i := 0; i < 16; i++ {
-		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, fmt.Sprintf("q%d", i),
+		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, fmt.Sprintf("q%d", i), JobMeta{},
 			func(ctx context.Context) (*PlaceResult, error) {
 				ran.Add(1)
 				return nil, ctx.Err()
@@ -310,7 +310,7 @@ func TestGreedyCtxCancel(t *testing.T) {
 	cancel()
 	for _, algo := range []string{"gall", "celf"} {
 		spec := PlaceSpec{Algorithm: algo, K: 2, Engine: "float"}
-		if _, err := spec.execute(ctx, algos[algo], m, "g1", nil); !errors.Is(err, context.Canceled) {
+		if _, err := spec.execute(ctx, algos[algo], m, "g1", nil, nil); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", algo, err)
 		}
 	}
@@ -325,11 +325,11 @@ func TestSubmitDeduplicatesInFlight(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 
-	first, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", blockingFn(release))
+	first, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", blockingFn(release))
+	dup, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "same-key", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestTerminalJobRetentionBound(t *testing.T) {
 	defer cancel()
 	var last string
 	for i := 0; i < 6; i++ {
-		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, string(rune('a'+i)), instant)
+		info, err := e.SubmitFunc("g1", PlaceSpec{K: 1}, string(rune('a'+i)), JobMeta{}, instant)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -51,6 +51,11 @@ type Metrics struct {
 	// BatchGraphsInflight is a gauge of batch sub-placements currently
 	// executing on the shared scheduler.
 	BatchGraphsInflight atomic.Int64
+	// EventsPublished counts job lifecycle events fanned out to the SSE
+	// bus; EventsDropped counts per-subscriber deliveries lost to a full
+	// subscriber buffer (the bus never blocks the job engine).
+	EventsPublished atomic.Int64
+	EventsDropped   atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -100,6 +105,15 @@ type MetricsSnapshot struct {
 	// snapshot time by the /metrics handler.
 	JobsDeferredWaiting      int64   `json:"jobs_deferred_waiting"`
 	OldestDeferredAgeSeconds float64 `json:"oldest_deferred_age_seconds"`
+	// EventsPublished/EventsDropped mirror the SSE bus counters;
+	// EventsSubscribers, HistorySamples and TenantsTracked are gauges
+	// sampled at snapshot time (live SSE streams, stats-history ring
+	// population, distinct tenants the accountant has seen).
+	EventsPublished   int64 `json:"events_published"`
+	EventsDropped     int64 `json:"events_dropped"`
+	EventsSubscribers int64 `json:"events_subscribers"`
+	HistorySamples    int64 `json:"history_samples"`
+	TenantsTracked    int64 `json:"tenants_tracked"`
 }
 
 // Snapshot copies every counter into the same-named MetricsSnapshot

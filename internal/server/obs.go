@@ -59,4 +59,74 @@ type engineObs struct {
 	// slowThreshold triggers a warn-level log with the job's stage
 	// timeline when a job's run time exceeds it; 0 disables.
 	slowThreshold time.Duration
+	// acct receives per-tenant job accounting (queue wait, run time,
+	// outcomes); nil disables tenant accounting.
+	acct *obs.Accountant
+	// events receives job lifecycle events for the SSE stream; nil (and
+	// the publish helper's nil-obs guard) disables it.
+	events *eventBus
+}
+
+// tenantSeries describes one per-tenant Prometheus family: its metric
+// name, help text, kind, and which TenantUsage field it samples.
+var tenantSeries = []struct {
+	name, help, kind string
+	value            func(u obs.TenantUsage) float64
+}{
+	{"fpd_tenant_requests_total", "HTTP requests attributed to the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.Requests) }},
+	{"fpd_tenant_jobs_submitted_total", "Async jobs submitted by the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.JobsSubmitted) }},
+	{"fpd_tenant_jobs_completed_total", "Tenant jobs that finished successfully.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.JobsCompleted) }},
+	{"fpd_tenant_jobs_failed_total", "Tenant jobs that finished in error.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.JobsFailed) }},
+	{"fpd_tenant_jobs_canceled_total", "Tenant jobs that were canceled.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.JobsCanceled) }},
+	{"fpd_tenant_placements_total", "Placements executed on behalf of the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.Placements) }},
+	{"fpd_tenant_oracle_evaluations_total", "Marginal-gain oracle evaluations spent for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.OracleEvaluations) }},
+	{"fpd_tenant_forward_passes_total", "Forward topological passes executed for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.ForwardPasses) }},
+	{"fpd_tenant_suffix_passes_total", "Suffix topological passes executed for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.SuffixPasses) }},
+	{"fpd_tenant_cache_hits_total", "Result-cache hits for the tenant's placement requests.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.CacheHits) }},
+	{"fpd_tenant_cache_misses_total", "Result-cache misses for the tenant's placement requests.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.CacheMisses) }},
+	{"fpd_tenant_job_queue_wait_seconds_total", "Total time the tenant's jobs spent queued.", "counter",
+		func(u obs.TenantUsage) float64 { return u.JobQueueWaitSeconds }},
+	{"fpd_tenant_job_run_seconds_total", "Total wall time the tenant's jobs spent running.", "counter",
+		func(u obs.TenantUsage) float64 { return u.JobRunSeconds }},
+	{"fpd_tenant_sched_queue_wait_seconds_total", "Total scheduler queue wait of the tenant's oracle tasks.", "counter",
+		func(u obs.TenantUsage) float64 { return u.SchedQueueWaitSeconds }},
+	{"fpd_tenant_sched_tasks_total", "Scheduler tasks executed for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.SchedTasks) }},
+}
+
+// registerTenantSeries exposes the accountant as labeled Prometheus
+// families: one accountant snapshot per family per scrape (snapshots are
+// a read-locked copy of at most MaxTenants entries, so the scrape cost
+// is bounded by construction).
+func registerTenantSeries(reg *obs.Registry, acct *obs.Accountant) {
+	if acct == nil {
+		return
+	}
+	for _, ts := range tenantSeries {
+		value := ts.value
+		fn := func() []obs.LabeledValue {
+			snap := acct.Snapshot()
+			out := make([]obs.LabeledValue, len(snap))
+			for i, u := range snap {
+				out[i] = obs.LabeledValue{Label: u.Tenant, Value: value(u)}
+			}
+			return out
+		}
+		if ts.kind == "gauge" {
+			reg.GaugeVec(ts.name, ts.help, "tenant", fn)
+		} else {
+			reg.CounterVec(ts.name, ts.help, "tenant", fn)
+		}
+	}
 }

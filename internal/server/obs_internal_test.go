@@ -107,12 +107,12 @@ func TestJobTimelineCanceled(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 
-	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "run", blockingFn(release))
+	running, err := e.SubmitFunc("g1", PlaceSpec{Algorithm: "gall", K: 1}, "run", JobMeta{}, blockingFn(release))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, e, running.ID, JobRunning)
-	queued, err := e.SubmitFunc("g2", PlaceSpec{Algorithm: "gall", K: 1}, "queued", okFn)
+	queued, err := e.SubmitFunc("g2", PlaceSpec{Algorithm: "gall", K: 1}, "queued", JobMeta{}, okFn)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,28 +89,28 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := spec.batch()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "patch spec: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "patch spec: %v", err)
 		return
 	}
 	if b.Empty() {
-		s.writeError(w, http.StatusBadRequest, "patch spec: empty batch")
+		s.writeError(w, r, http.StatusBadRequest, "patch spec: empty batch")
 		return
 	}
 	if spec.Maintain && spec.K < 1 {
-		s.writeError(w, http.StatusBadRequest, "maintain wants k ≥ 1, got %d", spec.K)
+		s.writeError(w, r, http.StatusBadRequest, "maintain wants k ≥ 1, got %d", spec.K)
 		return
 	}
 
 	info, res, err := s.registry.Patch(id, b)
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
-		s.writeError(w, http.StatusNotFound, "unknown graph %q", id)
+		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
 		return
 	case errors.Is(err, dyn.ErrCycle):
-		s.writeError(w, http.StatusConflict, "rejected: %v", err)
+		s.writeError(w, r, http.StatusConflict, "rejected: %v", err)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusUnprocessableEntity, "rejected: %v", err)
+		s.writeError(w, r, http.StatusUnprocessableEntity, "rejected: %v", err)
 		return
 	}
 
@@ -125,7 +125,7 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if spec.Maintain {
-		job, err := s.submitMaintain(id, spec.K)
+		job, err := s.submitMaintain(id, spec.K, jobMetaOf(r))
 		if err != nil {
 			// The mutation is committed either way; report the job failure
 			// in-band instead of failing the whole request.
@@ -143,14 +143,14 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 // the patch count (read under the registry lock — the overlay's dynMu may
 // be held by a long maintain run), so each graph version computes at most
 // once and concurrent identical requests dedup onto one job.
-func (s *Server) submitMaintain(id string, k int) (JobInfo, error) {
+func (s *Server) submitMaintain(id string, k int, meta JobMeta) (JobInfo, error) {
 	_, info, ok := s.registry.Get(id)
 	if !ok {
 		return JobInfo{}, ErrUnknownGraph
 	}
 	key := fmt.Sprintf("%s|maintain|%d|float|v%d|", id, k, info.Patches)
 	spec := PlaceSpec{Algorithm: "maintain", K: k, Engine: "float"}
-	job, err := s.jobs.SubmitFunc(id, spec, key, func(ctx context.Context) (*PlaceResult, error) {
+	job, err := s.jobs.SubmitFunc(id, spec, key, meta, func(ctx context.Context) (*PlaceResult, error) {
 		return s.runMaintain(ctx, id, k)
 	})
 	if err == nil {

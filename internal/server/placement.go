@@ -164,10 +164,12 @@ func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) stri
 
 // execute runs the placement through core.Place and evaluates the paper's
 // report quantities for the chosen filter set. metrics (optional) receives
-// the per-job worker gauge and the oracle-call counter. A trace carried
-// by ctx (async jobs attach one) records the evaluator build and the
-// per-stage placement timing.
-func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string, metrics *Metrics) (*PlaceResult, error) {
+// the per-job worker gauge and the oracle-call counter; tc (optional)
+// receives the tenant-level attribution of the same work — core.Place
+// charges it post-algorithm, so accounting can never perturb placements.
+// A trace carried by ctx (async jobs attach one) records the evaluator
+// build and the per-stage placement timing.
+func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, graphID string, metrics *Metrics, tc *obs.TenantCounters) (*PlaceResult, error) {
 	tr := obs.TraceFrom(ctx)
 	bsp := tr.Begin("build-evaluator")
 	ev := sp.newEvaluator(m)
@@ -181,6 +183,8 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 		Parallelism: sp.Parallelism,
 		Seed:        sp.Seed,
 		Trace:       tr,
+		Tenant:      tc.Name(),
+		Account:     tc,
 	})
 	if err != nil {
 		return nil, err

@@ -32,6 +32,9 @@ var snapshotGauges = map[string]bool{
 	"sched_workers":               true,
 	"jobs_deferred_waiting":       true,
 	"oldest_deferred_age_seconds": true,
+	"events_subscribers":          true,
+	"history_samples":             true,
+	"tenants_tracked":             true,
 }
 
 // writePrometheusSnapshot emits every MetricsSnapshot field as an

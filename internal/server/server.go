@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -66,6 +67,22 @@ type Config struct {
 	// stage timeline — for any async job whose run time exceeds it
 	// (the fpd -slow-place flag). 0 disables.
 	SlowPlaceThreshold time.Duration
+	// HistoryInterval is the period of the stats-history sampler feeding
+	// GET /v1/stats/history (default 5s).
+	HistoryInterval time.Duration
+	// HistoryRetention is how far back the stats history reaches (default
+	// 15m); the ring holds HistoryRetention/HistoryInterval samples.
+	HistoryRetention time.Duration
+	// MaxTenants caps the distinct tenants the accountant tracks (default
+	// obs.DefaultMaxTenants); names past the cap account to "(overflow)".
+	MaxTenants int
+	// DisableAccounting turns per-tenant resource accounting off entirely:
+	// no accountant is built, /v1/tenants endpoints return 404, and the
+	// labeled tenant series are absent from /metrics.
+	DisableAccounting bool
+	// Version labels the fpd_build_info gauge (default "dev"); cmd/fpd
+	// sets it from its build metadata.
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +107,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelism <= 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.HistoryInterval <= 0 {
+		c.HistoryInterval = 5 * time.Second
+	}
+	if c.HistoryRetention <= 0 {
+		c.HistoryRetention = 15 * time.Minute
+	}
+	if c.HistoryRetention < c.HistoryInterval {
+		c.HistoryRetention = c.HistoryInterval
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
 	return c
 }
 
@@ -107,7 +136,28 @@ type Server struct {
 	slowPlace      time.Duration
 	maxBodyBytes   int64
 	maxParallelism int
+
+	// acct aggregates per-tenant resource usage; nil when accounting is
+	// disabled (every accounting call is nil-safe).
+	acct *obs.Accountant
+	// events fans job lifecycle events out to SSE subscribers.
+	events *eventBus
+	// history is the in-process time-series ring behind /v1/stats/history,
+	// fed by a background sampler every historyInterval.
+	history          *obs.SeriesRing
+	historyInterval  time.Duration
+	historyRetention time.Duration
+	historyStop      chan struct{}
+	historyWG        sync.WaitGroup
+
+	version   string
+	closeOnce sync.Once
 }
+
+// maxHistorySamples bounds the history ring regardless of configuration:
+// a pathological retention/interval ratio must not allocate unbounded
+// memory.
+const maxHistorySamples = 1 << 16
 
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
@@ -117,27 +167,52 @@ func New(cfg Config) *Server {
 	}
 	m := &Metrics{}
 	so := newServerObs()
+	var acct *obs.Accountant
+	if !cfg.DisableAccounting {
+		acct = obs.NewAccountant(cfg.MaxTenants)
+	}
+	events := newEventBus(m)
 	eo := &engineObs{
 		queueWait:     so.jobQueueWait,
 		runTime:       so.jobRun,
 		stageSink:     so.placeStage,
 		logger:        cfg.Logger,
 		slowThreshold: cfg.SlowPlaceThreshold,
+		acct:          acct,
+		events:        events,
+	}
+	capacity := int(cfg.HistoryRetention / cfg.HistoryInterval)
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity > maxHistorySamples {
+		capacity = maxHistorySamples
 	}
 	cache := newResultCache(cfg.CacheSize, m)
 	s := &Server{
-		mux:            http.NewServeMux(),
-		registry:       NewRegistry(cfg.MaxGraphs, m),
-		jobs:           NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m, eo),
-		cache:          cache,
-		flights:        newFlightTable(),
-		metrics:        m,
-		obs:            so,
-		logger:         cfg.Logger,
-		slowPlace:      cfg.SlowPlaceThreshold,
-		maxBodyBytes:   cfg.MaxBodyBytes,
-		maxParallelism: cfg.MaxParallelism,
+		mux:              http.NewServeMux(),
+		registry:         NewRegistry(cfg.MaxGraphs, m),
+		jobs:             NewJobEngine(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cache, m, eo),
+		cache:            cache,
+		flights:          newFlightTable(),
+		metrics:          m,
+		obs:              so,
+		logger:           cfg.Logger,
+		slowPlace:        cfg.SlowPlaceThreshold,
+		maxBodyBytes:     cfg.MaxBodyBytes,
+		maxParallelism:   cfg.MaxParallelism,
+		acct:             acct,
+		events:           events,
+		history:          obs.NewSeriesRing(capacity),
+		historyInterval:  cfg.HistoryInterval,
+		historyRetention: cfg.HistoryRetention,
+		historyStop:      make(chan struct{}),
+		version:          cfg.Version,
 	}
+	registerTenantSeries(so.reg, acct)
+	so.reg.Info("fpd_build_info",
+		"Build metadata of the running fpd binary; the value is always 1.",
+		map[string]string{"version": cfg.Version, "go_version": runtime.Version()})
 	// Route latency is labeled by the REGISTERED pattern, wrapped here at
 	// registration time: the outer ServeHTTP never learns which pattern
 	// the mux matched, and raw URLs would be unbounded-cardinality labels.
@@ -145,8 +220,17 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	// The queue-wait sampler is a process-wide hook (like SetDefaultWorkers):
-	// the most recently created server observes the shared scheduler.
-	sched.Default().SetQueueWaitSampler(so.schedWait.Observe)
+	// the most recently created server observes the shared scheduler. The
+	// tag a sched.Batch carries is the submitting tenant, so the shared
+	// pool's wait time is attributed per tenant as well as in aggregate.
+	sched.Default().SetQueueWaitSampler(func(tag string, wait time.Duration) {
+		so.schedWait.Observe(wait)
+		if tag != "" {
+			acct.Tenant(tag).AddSchedWait(wait)
+		}
+	})
+	s.historyWG.Add(1)
+	go s.historyLoop()
 	return s
 }
 
@@ -179,20 +263,36 @@ func (s *Server) Routes() map[string]http.HandlerFunc {
 		"GET /v1/jobs":                 s.handleListJobs,
 		"GET /v1/jobs/{id}":            s.handleGetJob,
 		"DELETE /v1/jobs/{id}":         s.handleCancelJob,
+		"GET /v1/tenants":              s.handleListTenants,
+		"GET /v1/tenants/{id}/usage":   s.handleTenantUsage,
+		"GET /v1/stats/history":        s.handleStatsHistory,
+		"GET /v1/events":               s.handleEvents,
 		"GET /healthz":                 s.handleHealthz,
+		"GET /readyz":                  s.handleReadyz,
 		"GET /metrics":                 s.handleMetrics,
 	}
 }
 
-// ServeHTTP implements http.Handler with request counting and logging.
+// ServeHTTP implements http.Handler: every request is stamped with its
+// identity (request id, tenant, trace context) before routing, counted,
+// and logged with the identity fields so one token joins the client log,
+// the server log and the trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RequestsTotal.Add(1)
 	start := time.Now()
+	ri, r, ok := s.stampRequest(w, r)
+	if !ok {
+		return
+	}
+	s.acct.Tenant(ri.tenant).AddRequest()
 	s.mux.ServeHTTP(w, r)
 	if s.logger != nil {
 		s.logger.Debug("request",
 			"method", r.Method,
 			"path", r.URL.Path,
+			"tenant", ri.tenant,
+			"request_id", ri.id,
+			"traceparent", ri.trace.String(),
 			"dur", time.Since(start).Round(time.Microsecond))
 	}
 }
@@ -203,10 +303,23 @@ func (s *Server) Jobs() *JobEngine { return s.jobs }
 // Metrics exposes the server's counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close cancels running jobs and stops the worker pool. The HTTP listener
-// (owned by the caller) should be shut down first.
+// ShutdownStreams ends every live SSE event stream and refuses new
+// subscriptions (503). Call it before draining the HTTP listener: an
+// open /v1/events connection would otherwise hold http.Server.Shutdown
+// until its grace timeout expires, since SSE handlers only return when
+// their subscription channel closes or the client hangs up.
+func (s *Server) ShutdownStreams() { s.events.close() }
+
+// Close stops the history sampler, ends every SSE stream, cancels
+// running jobs and stops the worker pool. The HTTP listener (owned by
+// the caller) should be shut down first. Idempotent.
 func (s *Server) Close() {
-	s.jobs.Close()
+	s.closeOnce.Do(func() {
+		close(s.historyStop)
+		s.historyWG.Wait()
+		s.events.close()
+		s.jobs.Close()
+	})
 }
 
 func (s *Server) logf(format string, args ...any) {
