@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/obs"
 )
 
 // Options configures a Maintainer. Zero values pick the documented
@@ -28,6 +29,11 @@ type Options struct {
 	// initial placement and the drift fallback); ≤ 1 is serial. Placements
 	// are bit-for-bit identical at any setting (see core.Place).
 	Parallelism int
+	// Splicer, when non-nil, is the plan splicer the Maintainer keeps in
+	// sync with the overlay (the server registry shares one splicer between
+	// the maintainer and the placement path). It must be built over the
+	// same overlay. When nil, the Maintainer creates its own.
+	Splicer *flow.Splicer
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +107,13 @@ type Maintainer struct {
 	full *flow.Incremental // all non-source filters: F(V)
 	cur  *flow.Incremental // the maintained placement
 
+	// splicer keeps an execution plan spliced alongside the overlay, so
+	// full re-initializations (Reinit after missed batches) and recompute
+	// placements run on the flat plan kernels instead of per-node scalar
+	// sweeps, and so the server can reuse the repaired plan for
+	// placements without rebuilding it from a snapshot.
+	splicer *flow.Splicer
+
 	lastGen   uint64
 	placed    bool
 	touchedF  int
@@ -136,12 +149,18 @@ func NewMaintainer(d *Dynamic, opts Options, initial []int) (*Maintainer, error)
 			all = append(all, v)
 		}
 	}
+	sp := opts.Splicer
+	if sp == nil {
+		sp = flow.NewSplicer(d, nil, flow.SpliceOptions{})
+	}
+	p := sp.Plan()
 	mt := &Maintainer{
-		d:    d,
-		opts: opts,
-		base: flow.NewIncremental(d, sources, nil),
-		full: flow.NewIncremental(d, sources, all),
-		cur:  flow.NewIncremental(d, sources, initial),
+		d:       d,
+		opts:    opts,
+		splicer: sp,
+		base:    flow.NewIncrementalWith(d, sources, nil, p),
+		full:    flow.NewIncrementalWith(d, sources, all, p),
+		cur:     flow.NewIncrementalWith(d, sources, initial, p),
 	}
 	mt.placed = len(initial) > 0
 	mt.lastGen = d.Gen()
@@ -188,10 +207,16 @@ func (mt *Maintainer) Apply(b Batch) (ApplyResult, error) {
 	mt.base.Update(res.DirtyFwd, res.DirtyBwd)
 	mt.full.Update(res.DirtyFwd, res.DirtyBwd)
 	mt.cur.Update(res.DirtyFwd, res.DirtyBwd)
+	mt.splicer.Apply(res.DirtyFwd, res.DirtyBwd, res.NodesAdded)
 	mt.accountDrift()
 	mt.lastGen = mt.d.Gen()
 	return res, nil
 }
+
+// Splicer returns the plan splicer the Maintainer keeps in sync with the
+// overlay; Splicer().Plan() is always current after a successful Apply or
+// Maintain.
+func (mt *Maintainer) Splicer() *flow.Splicer { return mt.splicer }
 
 // accountDrift accumulates the current-state dirty-cone visits since the
 // last reading.
@@ -210,14 +235,18 @@ func (mt *Maintainer) accountDrift() {
 // repaired in place ("incremental").
 func (mt *Maintainer) Maintain(ctx context.Context) (*Report, error) {
 	if mt.d.Gen() != mt.lastGen {
-		// Missed batches: the cached flow state is unsound. Rebuild it,
-		// then recompute the placement below.
+		// Missed batches: the cached flow state is unsound. Rebuild the
+		// plan once, re-initialize all three flow states on its flat
+		// kernels, then recompute the placement below.
+		span := obs.TraceFrom(ctx).Begin("plan-rebuild")
 		mt.base.Grow(false)
 		mt.cur.Grow(false)
 		mt.full.Grow(true)
-		mt.base.Reinit()
-		mt.full.Reinit()
-		mt.cur.Reinit()
+		p := mt.splicer.Rebuild()
+		mt.base.ReinitWith(p)
+		mt.full.ReinitWith(p)
+		mt.cur.ReinitWith(p)
+		span.End()
 		mt.lastStats = mt.cur.Stats()
 		mt.lastGen = mt.d.Gen()
 		mt.touchedF = mt.d.N() // force the drift fallback
@@ -271,12 +300,19 @@ func (mt *Maintainer) Maintain(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// recompute runs the paper's Greedy_All from scratch on a snapshot and
-// swaps the resulting placement into the incremental state.
+// recompute runs the paper's Greedy_All from scratch and swaps the
+// resulting placement into the incremental state. The model is stood up
+// over the splicer's current plan in O(n+m) — no overlay snapshot, no
+// plan rebuild — so the fallback path, too, runs on the flat kernels.
 func (mt *Maintainer) recompute(ctx context.Context) error {
-	m, err := flow.NewModel(mt.d.Snapshot(), mt.d.Sources())
+	m, err := flow.NewModelFromPlan(mt.splicer.Plan(), mt.d.Sources())
 	if err != nil {
-		return err
+		// The spliced plan should always be adoptable; a snapshot build is
+		// the conservative fallback if it ever is not.
+		m, err = flow.NewModel(mt.d.Snapshot(), mt.d.Sources())
+		if err != nil {
+			return err
+		}
 	}
 	res, err := core.Place(ctx, flow.NewFloat(m), mt.opts.K, core.Options{
 		Strategy:    core.StrategyGreedyAll,
@@ -285,7 +321,7 @@ func (mt *Maintainer) recompute(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	mt.cur = flow.NewIncremental(mt.d, mt.d.Sources(), res.Filters)
+	mt.cur = flow.NewIncrementalWith(mt.d, mt.d.Sources(), res.Filters, mt.splicer.Plan())
 	mt.lastStats = mt.cur.Stats()
 	return nil
 }

@@ -99,6 +99,41 @@ func NewModel(g *graph.Digraph, sources []int) (*Model, error) {
 	return &Model{g: g, sources: append([]int(nil), sources...), isSrc: isSrc, topo: topo, pc: &planCache{}}, nil
 }
 
+// NewModelFromPlan stands up a Model over an already-built plan: the
+// digraph is materialized from the plan's CSR in O(n+m) (no sort, no
+// topological search — the plan's position order IS a topological
+// order), and the plan cache is pre-filled so no engine ever triggers a
+// buildPlan. This is how the server PATCH path turns a spliced plan into
+// the registry's refreshed model without paying the from-scratch
+// snapshot+build cost. Only unweighted plans are supported — exactly
+// what the dynamic overlay produces.
+func NewModelFromPlan(p *Plan, sources []int) (*Model, error) {
+	if p.Weighted() {
+		return nil, fmt.Errorf("flow: NewModelFromPlan supports only unweighted plans")
+	}
+	g := p.Digraph()
+	if len(sources) == 0 {
+		sources = g.Sources()
+	}
+	isSrc := make([]bool, g.N())
+	for _, s := range sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("flow: source %d out of range [0,%d)", s, g.N())
+		}
+		if g.InDegree(s) != 0 {
+			return nil, fmt.Errorf("flow: source %d has in-degree %d; sources must have in-degree 0 (add a super-source instead)", s, g.InDegree(s))
+		}
+		isSrc[s] = true
+	}
+	topo := make([]int, p.n)
+	for i, v := range p.perm {
+		topo[i] = int(v)
+	}
+	pc := &planCache{plan: p}
+	pc.once.Do(func() {}) // the plan is already built; pin the cache
+	return &Model{g: g, sources: append([]int(nil), sources...), isSrc: isSrc, topo: topo, pc: pc}, nil
+}
+
 // MustModel is NewModel that panics on error, for tests and examples over
 // known-good graphs.
 func MustModel(g *graph.Digraph, sources []int) *Model {

@@ -63,6 +63,13 @@ type Incremental struct {
 // sources must have in-degree 0 now and forever (dyn pins them); filters
 // may be nil for the empty mask.
 func NewIncremental(g DynDigraph, sources, filters []int) *Incremental {
+	return NewIncrementalWith(g, sources, filters, nil)
+}
+
+// NewIncrementalWith is NewIncremental with the initialization pass run on
+// the flat kernels of p (see ReinitWith) instead of the scalar sweeps. p
+// may be nil or stale; the scalar path is the fallback.
+func NewIncrementalWith(g DynDigraph, sources, filters []int, p *Plan) *Incremental {
 	n := g.N()
 	e := &Incremental{g: g}
 	e.isSrc = make([]bool, n)
@@ -74,7 +81,7 @@ func NewIncremental(g DynDigraph, sources, filters []int) *Incremental {
 		e.filters[v] = true
 	}
 	e.alloc(n)
-	e.Reinit()
+	e.ReinitWith(p)
 	return e
 }
 
@@ -122,6 +129,37 @@ func (e *Incremental) Reinit() {
 	for i := n - 1; i >= 0; i-- {
 		e.recomputeSuf(order[i])
 	}
+	e.stats.ForwardVisits += n
+	e.stats.BackwardVisits += n
+	e.stats.Updates++
+}
+
+// ReinitWith recomputes the full state like Reinit but on the flat
+// forwardRange/suffixRange kernels of an up-to-date execution plan —
+// sequential position order, no per-node heap or interface dispatch — and
+// scatters the results back to original-id indexing. This is the path
+// that makes dyn.Maintainer's "missed batches" rebuild run at plan-kernel
+// speed instead of being the slowest pass in the system. A nil, stale or
+// weighted plan falls back to the scalar Reinit.
+func (e *Incremental) ReinitWith(p *Plan) {
+	n := e.g.N()
+	if p == nil || p.n != n || p.weighted {
+		e.Reinit()
+		return
+	}
+	s := p.getScratch()
+	srcBuf := p.GetMask()
+	src := p.fillMask(srcBuf, e.isSrc)
+	fmask := p.fillMask(s.fmask, e.filters)
+	p.forwardRange(src, fmask, s.rec, s.emit, 0, n)
+	p.suffixRange(fmask, s.suf, 0, n)
+	for i, v := range p.perm {
+		e.rec[v] = s.rec[i]
+		e.emit[v] = s.emit[i]
+		e.suf[v] = s.suf[i]
+	}
+	p.PutMask(srcBuf)
+	p.putScratch(s)
 	e.stats.ForwardVisits += n
 	e.stats.BackwardVisits += n
 	e.stats.Updates++

@@ -3,6 +3,7 @@ package flow
 import (
 	"sync"
 
+	"repro/internal/graph"
 	"repro/internal/sched"
 )
 
@@ -18,10 +19,14 @@ import (
 //
 //   - Nodes are RENUMBERED level-contiguously: plan position i carries
 //     original node perm[i], positions are grouped by topological level
-//     (depth), and within a level nodes keep their topological-order
-//     relative order. The level-contiguous order is itself a topological
-//     order, so a serial pass is one strictly sequential sweep over
-//     positions 0..n-1 — no index vector in the loop at all.
+//     (depth), and within a level nodes are ordered by ascending original
+//     id. The level-contiguous order is itself a topological order, so a
+//     serial pass is one strictly sequential sweep over positions 0..n-1
+//     — no index vector in the loop at all. The within-level order is
+//     CANONICAL — a pure function of the edge set, independent of which
+//     topological order the model happened to cache — which is what lets
+//     a spliced plan (see Splicer) be array-for-array identical to a
+//     from-scratch build.
 //   - The in- and out-adjacency CSR is RE-INDEXED to plan positions, with
 //     each node's neighbor list kept in ascending ORIGINAL id order — the
 //     exact accumulation order of the pre-plan kernels, which is what
@@ -87,8 +92,28 @@ type Plan struct {
 	chunkHint   int
 	levelChunks [][]int32
 
+	// arena holds the pooled scratch buffers. It is SHARED across the
+	// splice lineage of a plan (every Splicer repair hands the new plan
+	// the old plan's arena), so a dynamic graph keeps its warm buffers
+	// across mutations instead of repaying the allocation after every
+	// batch; buffers grow in place when AddNodes extends the graph.
+	arena *planArena
+}
+
+// planArena is the pooled scratch shared by a plan and all of its spliced
+// descendants. Buffers are sized lazily against the borrowing plan's n —
+// a pool entry allocated for an older, smaller plan is grown (never
+// shrunk) on its next borrow.
+type planArena struct {
 	scratch sync.Pool // *floatScratch
-	masks   sync.Pool // *[]bool, length n
+	masks   sync.Pool // *[]bool
+}
+
+func newPlanArena() *planArena {
+	a := &planArena{}
+	a.scratch.New = func() any { return &floatScratch{} }
+	a.masks.New = func() any { return new([]bool) }
+	return a
 }
 
 // floatScratch is one borrowed working set for float passes over a plan:
@@ -97,6 +122,19 @@ type Plan struct {
 type floatScratch struct {
 	rec, emit, suf []float64
 	fmask          []bool
+}
+
+// ensure resizes the working set to n slots, reslicing in place when
+// capacity allows (the warm-arena path after a splice grows a graph).
+func (s *floatScratch) ensure(n int) {
+	if cap(s.rec) < n || cap(s.fmask) < n {
+		s.rec = make([]float64, n)
+		s.emit = make([]float64, n)
+		s.suf = make([]float64, n)
+		s.fmask = make([]bool, n)
+		return
+	}
+	s.rec, s.emit, s.suf, s.fmask = s.rec[:n], s.emit[:n], s.suf[:n], s.fmask[:n]
 }
 
 // buildPlan computes the plan of a model. It is called once per Model
@@ -123,8 +161,9 @@ func buildPlan(m *Model) *Plan {
 		}
 	}
 
-	// Counting sort by depth, stable in topological order, yields the
-	// level-contiguous permutation.
+	// Counting sort by depth, stable in ascending original-id order,
+	// yields the canonical level-contiguous permutation (still a valid
+	// topological order: edges always cross into a strictly deeper level).
 	p.levelOff = make([]int32, maxDepth+2)
 	for v := 0; v < n; v++ {
 		p.levelOff[depth[v]+1]++
@@ -135,19 +174,13 @@ func buildPlan(m *Model) *Plan {
 	p.perm = make([]int32, n)
 	p.pos = make([]int32, n)
 	next := append([]int32(nil), p.levelOff...)
-	for _, v := range topo {
+	for v := 0; v < n; v++ {
 		i := next[depth[v]]
 		next[depth[v]]++
 		p.perm[i] = int32(v)
 		p.pos[v] = i
 	}
-	p.identity = true
-	for i, v := range p.perm {
-		if int32(i) != v {
-			p.identity = false
-			break
-		}
-	}
+	p.checkIdentity()
 
 	// Re-index both CSRs to plan positions. Neighbor lists stay in
 	// ascending original-id order (Digraph.In/Out order), preserving the
@@ -194,35 +227,45 @@ func buildPlan(m *Model) *Plan {
 	p.levelChunks = make([][]int32, p.numLevels())
 	for l := range p.levelChunks {
 		lo, hi := p.level(l)
-		size := hi - lo
-		if size < minParallelSpan || p.chunkHint <= 1 {
-			continue
-		}
-		procs := p.chunkHint
-		if procs > size {
-			procs = size
-		}
-		chunk := (size + procs - 1) / procs
-		bounds := []int32{int32(lo)}
-		for c := lo + chunk; c < hi; c += chunk {
-			bounds = append(bounds, int32(c))
-		}
-		p.levelChunks[l] = append(bounds, int32(hi))
+		p.levelChunks[l] = p.chunksFor(lo, hi)
 	}
 
-	p.scratch.New = func() any {
-		return &floatScratch{
-			rec:   make([]float64, n),
-			emit:  make([]float64, n),
-			suf:   make([]float64, n),
-			fmask: make([]bool, n),
+	p.arena = newPlanArena()
+	return p
+}
+
+// checkIdentity recomputes the identity flag — the common generated-graph
+// case where node ids are already level-contiguous in canonical order.
+func (p *Plan) checkIdentity() {
+	p.identity = true
+	for i, v := range p.perm {
+		if int32(i) != v {
+			p.identity = false
+			break
 		}
 	}
-	p.masks.New = func() any {
-		mask := make([]bool, n)
-		return &mask
+}
+
+// chunksFor computes the precomputed chunk boundaries for one level's
+// position range [lo, hi) against the plan's scheduler hint, or nil when
+// the level runs serially. Boundaries depend only on (size, chunkHint),
+// never on contents, so a splice recomputes them exactly as a full build
+// would.
+func (p *Plan) chunksFor(lo, hi int) []int32 {
+	size := hi - lo
+	if size < minParallelSpan || p.chunkHint <= 1 {
+		return nil
 	}
-	return p
+	procs := p.chunkHint
+	if procs > size {
+		procs = size
+	}
+	chunk := (size + procs - 1) / procs
+	bounds := []int32{int32(lo)}
+	for c := lo + chunk; c < hi; c += chunk {
+		bounds = append(bounds, int32(c))
+	}
+	return append(bounds, int32(hi))
 }
 
 // N returns the node count the plan was built for.
@@ -262,12 +305,14 @@ func (p *Plan) level(l int) (lo, hi int) {
 // putScratch when the borrower is done (engines do this via
 // ReleaseScratch). Contents are unspecified.
 func (p *Plan) getScratch() *floatScratch {
-	return p.scratch.Get().(*floatScratch)
+	s := p.arena.scratch.Get().(*floatScratch)
+	s.ensure(p.n)
+	return s
 }
 
 func (p *Plan) putScratch(s *floatScratch) {
 	if s != nil {
-		p.scratch.Put(s)
+		p.arena.scratch.Put(s)
 	}
 }
 
@@ -275,13 +320,18 @@ func (p *Plan) putScratch(s *floatScratch) {
 // are unspecified. core.Place borrows per-shard candidate masks here so
 // candidate sharding stops allocating O(N) state per placement.
 func (p *Plan) GetMask() []bool {
-	return *p.masks.Get().(*[]bool)
+	mp := p.arena.masks.Get().(*[]bool)
+	mask := *mp
+	if cap(mask) < p.n {
+		mask = make([]bool, p.n)
+	}
+	return mask[:p.n]
 }
 
 // PutMask returns a mask borrowed with GetMask.
 func (p *Plan) PutMask(mask []bool) {
 	if mask != nil {
-		p.masks.Put(&mask)
+		p.arena.masks.Put(&mask)
 	}
 }
 
@@ -397,6 +447,37 @@ func (p *Plan) sumOriginal(vals []float64) float64 {
 		total += vals[i]
 	}
 	return total
+}
+
+// Digraph materializes the plan's edge set as an immutable graph.Digraph
+// in O(n+m) — no sorting, no edge map. Plan CSR rows are already in
+// ascending original-id order, the exact Digraph contract, so rows are a
+// straight position→id translation. NewModelFromPlan uses this to stand
+// up a fresh Model over a spliced plan without paying the overlay
+// snapshot's O(m log m) sort.
+func (p *Plan) Digraph() *graph.Digraph {
+	n := p.n
+	outOff := make([]int, n+1)
+	inOff := make([]int, n+1)
+	outAdj := make([]int, len(p.outAdj))
+	inAdj := make([]int, len(p.inAdj))
+	var eout, ein int
+	for v := 0; v < n; v++ {
+		i := int(p.pos[v])
+		outOff[v] = eout
+		for _, c := range p.outAdj[p.outOff[i]:p.outOff[i+1]] {
+			outAdj[eout] = int(p.perm[c])
+			eout++
+		}
+		inOff[v] = ein
+		for _, q := range p.inAdj[p.inOff[i]:p.inOff[i+1]] {
+			inAdj[ein] = int(p.perm[q])
+			ein++
+		}
+	}
+	outOff[n] = eout
+	inOff[n] = ein
+	return graph.FromCSR(n, outOff, outAdj, inOff, inAdj)
 }
 
 // scatter copies a plan-indexed vector into a freshly allocated

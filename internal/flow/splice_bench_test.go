@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchLayered builds a layered DAG in the shape of the paper's synthetic
+// communication networks: n nodes in layers of the given width, a
+// backbone edge from each node to its same-slot successor one layer down
+// (pinning every node's depth to its layer index), plus ~epn-1 extra
+// forward edges per node. It returns the view and the extra-edge pool —
+// churning only extra edges never moves a depth, the level structure a
+// live layered network keeps while its links churn.
+func benchLayered(n, width, epn int, seed int64) (*testDyn, [][2]int) {
+	rng := rand.New(rand.NewSource(seed))
+	d := newTestDyn(n)
+	for v := width; v < n; v++ {
+		d.addEdge(v-width, v)
+	}
+	extra := make([][2]int, 0, n*(epn-1))
+	for len(extra) < n*(epn-1) {
+		u := rng.Intn(n - width)
+		lo := (u/width + 1) * width
+		v := lo + rng.Intn(n-lo)
+		if d.addEdge(u, v) {
+			extra = append(extra, [2]int{u, v})
+		}
+	}
+	return d, extra
+}
+
+// benchBanded builds a random DAG whose every edge spans at most band ids,
+// so depth grows with id and is tightly coupled along the graph: removing
+// edges anywhere can shift every downstream level. This is the splicer's
+// worst case — the cone threshold is expected to degrade it to rebuild
+// cost rather than let a splice do strictly more work.
+func benchBanded(n, epn, band int, seed int64) (*testDyn, [][2]int) {
+	rng := rand.New(rand.NewSource(seed))
+	d := newTestDyn(n)
+	edges := make([][2]int, 0, n*epn)
+	for len(edges) < n*epn {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(band)
+		if v >= n {
+			continue
+		}
+		if d.addEdge(u, v) {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return d, edges
+}
+
+// benchRepair times plan repair under churn: each iteration removes a
+// random c-edge set from the pool in one batch and re-adds it in the
+// next, timing only the Splicer.Apply calls (graph mutation and batch
+// construction run with the timer stopped). The edge set returns to the
+// original after every iteration, so cost is stationary across b.N.
+func benchRepair(b *testing.B, d *testDyn, pool [][2]int, churn float64, opts SpliceOptions) {
+	s := NewSplicer(d, nil, opts)
+	c := int(churn * float64(len(pool)))
+	if c < 1 {
+		c = 1
+	}
+	rng := rand.New(rand.NewSource(7))
+	sel := make([][2]int, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range sel {
+			sel[j] = pool[rng.Intn(len(pool))]
+		}
+		df, db := d.apply(testBatch{remove: sel})
+		b.StartTimer()
+		s.Apply(df, db, 0)
+		b.StopTimer()
+		df, db = d.apply(testBatch{add: sel})
+		b.StartTimer()
+		s.Apply(df, db, 0)
+	}
+	splices, rebuilds := s.Counters()
+	b.ReportMetric(float64(splices)/float64(splices+rebuilds), "spliced-frac")
+}
+
+// BenchmarkPlanSplice is the tentpole's cost claim: incremental plan
+// splicing vs from-scratch rebuild (MaxConeFrac < 0 forces the rebuild
+// path through the identical driver) across churn rates and graph sizes.
+// The layered workload is the design case (stable levels, link churn);
+// the banded workload documents graceful degradation when churn shifts
+// the level structure itself. Each op is a remove-batch repair plus an
+// add-batch repair, so per-repair cost is half the reported ns/op.
+func BenchmarkPlanSplice(b *testing.B) {
+	const epn = 4
+	for _, n := range []int{10_000, 50_000} {
+		for _, churn := range []float64{0.001, 0.01, 0.05} {
+			d, pool := benchLayered(n, 50, epn, 42)
+			name := fmt.Sprintf("layered/n=%d/churn=%.1f%%", n, churn*100)
+			b.Run(name+"/splice", func(b *testing.B) {
+				benchRepair(b, d, pool, churn, SpliceOptions{})
+			})
+			b.Run(name+"/rebuild", func(b *testing.B) {
+				benchRepair(b, d, pool, churn, SpliceOptions{MaxConeFrac: -1})
+			})
+		}
+	}
+	d, pool := benchBanded(50_000, epn, 64, 42)
+	b.Run("banded/n=50000/churn=1.0%/splice", func(b *testing.B) {
+		benchRepair(b, d, pool, 0.01, SpliceOptions{})
+	})
+	b.Run("banded/n=50000/churn=1.0%/rebuild", func(b *testing.B) {
+		benchRepair(b, d, pool, 0.01, SpliceOptions{MaxConeFrac: -1})
+	})
+}

@@ -39,6 +39,25 @@ type Digraph struct {
 	labels []string
 }
 
+// FromCSR builds a Digraph directly from prebuilt CSR arrays, taking
+// ownership of the slices. The caller guarantees the Digraph invariants:
+// offsets are monotone with outOff[0] == inOff[0] == 0 and
+// outOff[n] == len(outAdj), inOff[n] == len(inAdj); every adjacency row
+// is in ascending order; and the in-CSR is the exact transpose of the
+// out-CSR. Only structural sizes are validated here — the trusted
+// producer is flow.Plan.Digraph, whose rows carry these invariants by
+// construction, letting the PATCH path rebuild a model in O(n+m) instead
+// of the builder's O(m log m) sort.
+func FromCSR(n int, outOff, outAdj, inOff, inAdj []int) *Digraph {
+	if n < 0 || len(outOff) != n+1 || len(inOff) != n+1 ||
+		outOff[n] != len(outAdj) || inOff[n] != len(inAdj) ||
+		len(outAdj) != len(inAdj) {
+		panic(fmt.Sprintf("graph: FromCSR arrays inconsistent: n=%d |outOff|=%d |inOff|=%d |outAdj|=%d |inAdj|=%d",
+			n, len(outOff), len(inOff), len(outAdj), len(inAdj)))
+	}
+	return &Digraph{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+}
+
 // N returns the number of nodes.
 func (g *Digraph) N() int { return g.n }
 

@@ -65,6 +65,10 @@ type TenantCounters struct {
 	runNS       atomic.Int64
 	schedWaitNS atomic.Int64
 	schedTasks  atomic.Int64
+
+	planSplices    atomic.Int64
+	planRebuilds   atomic.Int64
+	planRepairWork atomic.Int64
 }
 
 // Name returns the tenant identifier the counters accumulate under
@@ -161,6 +165,24 @@ func (c *TenantCounters) AddSchedWait(d time.Duration) {
 	}
 }
 
+// AddPlanRepair attributes one execution-plan repair triggered by the
+// tenant's PATCH: spliced says whether it stayed on the incremental path,
+// work is the splicer's abstract cost (depth visits + moved nodes + CSR
+// rows touched, or n+rows for a rebuild).
+func (c *TenantCounters) AddPlanRepair(spliced bool, work int64) {
+	if c == nil {
+		return
+	}
+	if spliced {
+		c.planSplices.Add(1)
+	} else {
+		c.planRebuilds.Add(1)
+	}
+	if work > 0 {
+		c.planRepairWork.Add(work)
+	}
+}
+
 // Usage snapshots the counters.
 func (c *TenantCounters) Usage() TenantUsage {
 	if c == nil {
@@ -183,6 +205,9 @@ func (c *TenantCounters) Usage() TenantUsage {
 		JobRunSeconds:         time.Duration(c.runNS.Load()).Seconds(),
 		SchedQueueWaitSeconds: time.Duration(c.schedWaitNS.Load()).Seconds(),
 		SchedTasks:            c.schedTasks.Load(),
+		PlanSplices:           c.planSplices.Load(),
+		PlanRebuilds:          c.planRebuilds.Load(),
+		PlanRepairWork:        c.planRepairWork.Load(),
 	}
 }
 
@@ -205,6 +230,11 @@ type TenantUsage struct {
 	JobRunSeconds         float64 `json:"job_run_seconds"`
 	SchedQueueWaitSeconds float64 `json:"sched_queue_wait_seconds"`
 	SchedTasks            int64   `json:"sched_tasks"`
+	// PlanSplices/PlanRebuilds split the tenant's PATCH-driven plan
+	// repairs; PlanRepairWork is their accumulated abstract cost.
+	PlanSplices    int64 `json:"plan_splices"`
+	PlanRebuilds   int64 `json:"plan_rebuilds"`
+	PlanRepairWork int64 `json:"plan_repair_work"`
 }
 
 // Accountant aggregates per-tenant resource usage. Lookup is a

@@ -637,6 +637,19 @@ func (e *JobEngine) Get(id string) (JobInfo, bool) {
 	return e.infoLocked(j), true
 }
 
+// ObserveStage stamps a pre-measured span onto job id's timeline. The
+// PATCH handler uses it to attach the synchronous plan-splice work to the
+// auto-maintain job it enqueued — the handler holds no live trace of its
+// own, and the span predates the job's t0 (Trace clamps the offset).
+func (e *JobEngine) ObserveStage(id, name string, start time.Time, d time.Duration) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if ok {
+		j.trace.Observe(name, start, d)
+	}
+}
+
 // Cancel requests cancellation of job id: a queued job is canceled
 // immediately, a running job has its context canceled (the worker records
 // the terminal state), and a terminal job is left untouched.

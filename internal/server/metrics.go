@@ -56,6 +56,13 @@ type Metrics struct {
 	// subscriber buffer (the bus never blocks the job engine).
 	EventsPublished atomic.Int64
 	EventsDropped   atomic.Int64
+	// PlanSplices counts execution plans repaired incrementally after a
+	// PATCH batch; PlanRebuilds counts the ones rebuilt from scratch
+	// (splice-cost threshold exceeded, or a forced resync). Their ratio is
+	// the operator's signal that dynamic graphs are staying on the fast
+	// splice path.
+	PlanSplices  atomic.Int64
+	PlanRebuilds atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -114,6 +121,10 @@ type MetricsSnapshot struct {
 	EventsSubscribers int64 `json:"events_subscribers"`
 	HistorySamples    int64 `json:"history_samples"`
 	TenantsTracked    int64 `json:"tenants_tracked"`
+	// PlanSplices/PlanRebuilds split PATCH-driven execution-plan repairs
+	// into incremental splices vs from-scratch rebuilds.
+	PlanSplices  int64 `json:"plan_splices_total"`
+	PlanRebuilds int64 `json:"plan_rebuilds_total"`
 }
 
 // Snapshot copies every counter into the same-named MetricsSnapshot

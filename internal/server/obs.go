@@ -103,6 +103,12 @@ var tenantSeries = []struct {
 		func(u obs.TenantUsage) float64 { return u.SchedQueueWaitSeconds }},
 	{"fpd_tenant_sched_tasks_total", "Scheduler tasks executed for the tenant.", "counter",
 		func(u obs.TenantUsage) float64 { return float64(u.SchedTasks) }},
+	{"fpd_tenant_plan_splices_total", "Execution plans spliced incrementally for the tenant's PATCH batches.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.PlanSplices) }},
+	{"fpd_tenant_plan_rebuilds_total", "Execution plans rebuilt from scratch for the tenant's PATCH batches.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.PlanRebuilds) }},
+	{"fpd_tenant_plan_repair_work_total", "Abstract plan-repair cost (visits + moves + CSR rows) charged to the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.PlanRepairWork) }},
 }
 
 // registerTenantSeries exposes the accountant as labeled Prometheus

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/dyn"
+	"repro/internal/flow"
 	"repro/internal/obs"
 )
 
@@ -63,8 +65,38 @@ type PatchResult struct {
 	EdgesRemoved int       `json:"edges_removed"`
 	Reordered    int       `json:"reordered"`
 	Invalidated  int       `json:"cache_invalidated"`
-	Job          *JobInfo  `json:"job,omitempty"`
-	JobError     string    `json:"job_error,omitempty"`
+	// PlanSpliced reports whether the execution plan was repaired
+	// incrementally (true) or rebuilt from scratch (false); PlanRepair
+	// carries the repair's cost breakdown.
+	PlanSpliced bool            `json:"plan_spliced"`
+	PlanRepair  *PlanRepairInfo `json:"plan_repair,omitempty"`
+	Job         *JobInfo        `json:"job,omitempty"`
+	JobError    string          `json:"job_error,omitempty"`
+}
+
+// PlanRepairInfo breaks down what one PATCH's execution-plan repair did.
+type PlanRepairInfo struct {
+	Spliced bool `json:"spliced"`
+	// Reason names why the splicer fell back to a rebuild ("cone-budget",
+	// "window-budget", "desync", "forced"); empty when spliced.
+	Reason      string  `json:"reason,omitempty"`
+	DepthVisits int     `json:"depth_visits"`
+	Moved       int     `json:"moved"`
+	Window      int     `json:"window"`
+	RowsRebuilt int     `json:"rows_rebuilt"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
+func planRepairInfo(st flow.SpliceStats, d time.Duration) *PlanRepairInfo {
+	return &PlanRepairInfo{
+		Spliced:     st.Spliced,
+		Reason:      st.Reason,
+		DepthVisits: st.DepthVisits,
+		Moved:       st.Moved,
+		Window:      st.Window,
+		RowsRebuilt: st.RowsRebuilt,
+		DurationMS:  float64(d) / float64(time.Millisecond),
+	}
 }
 
 // MaintainInfo augments a PlaceResult produced by an auto-maintain job.
@@ -101,7 +133,9 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	info, res, err := s.registry.Patch(id, b)
+	patchStart := time.Now()
+	info, res, st, err := s.registry.Patch(id, b)
+	patchDur := time.Since(patchStart)
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		s.writeError(w, r, http.StatusNotFound, "unknown graph %q", id)
@@ -113,6 +147,9 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusUnprocessableEntity, "rejected: %v", err)
 		return
 	}
+	// Plan repair ran synchronously on the requester's dime: charge its
+	// abstract cost to the tenant alongside the usual oracle accounting.
+	s.tenantCounters(r).AddPlanRepair(st.Spliced, st.Work())
 
 	out := &PatchResult{
 		Graph:        info,
@@ -122,6 +159,8 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		Reordered:    res.Reordered,
 		// Every cached placement for this graph is stale now.
 		Invalidated: s.cache.invalidateGraph(id),
+		PlanSpliced: st.Spliced,
+		PlanRepair:  planRepairInfo(st, patchDur),
 	}
 
 	if spec.Maintain {
@@ -133,6 +172,9 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		} else {
 			out.Job = &job
 			w.Header().Set("Location", "/v1/jobs/"+job.ID)
+			// Stamp the synchronous repair onto the job's timeline so the
+			// per-job view shows the full PATCH→maintain pipeline.
+			s.jobs.ObserveStage(job.ID, "plan-splice", patchStart, patchDur)
 		}
 	}
 	s.writeJSON(w, http.StatusOK, out)
@@ -168,7 +210,15 @@ func (s *Server) runMaintain(ctx context.Context, id string, k int) (*PlaceResul
 	}
 	defer unlock()
 	sp := obs.TraceFrom(ctx).Begin("maintain")
+	// Maintain may resync its plan internally (missed batches force a
+	// rebuild); diff the shared splicer's counters around the run so those
+	// repairs land in the global metrics too. Patch-time repairs are
+	// counted by Registry.Patch, so the two never double-count.
+	s0, r0 := mt.Splicer().Counters()
 	rep, err := mt.Maintain(ctx)
+	s1, r1 := mt.Splicer().Counters()
+	s.metrics.PlanSplices.Add(s1 - s0)
+	s.metrics.PlanRebuilds.Add(r1 - r0)
 	sp.End()
 	if err != nil {
 		return nil, err

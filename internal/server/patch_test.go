@@ -1,11 +1,15 @@
 package server_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -216,6 +220,206 @@ func TestPatchAutoMaintain(t *testing.T) {
 	snap := metricsSnapshot(t, ts.URL)
 	if snap.MaintainJobs != 2 {
 		t.Errorf("maintain_jobs = %d, want 2", snap.MaintainJobs)
+	}
+}
+
+// TestPatchPlanSpliceReporting pins the plan-splice observability surface:
+// the PATCH response says whether the plan was spliced, /metrics counts the
+// repair, and its cost is charged to the requesting tenant.
+func TestPatchPlanSpliceReporting(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadDiamond(t, ts.URL)
+
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{AddNodes: 1, Add: [][2]int{{3, 5}}}, &pr); code != http.StatusOK {
+		t.Fatalf("patch: status %d", code)
+	}
+	if !pr.PlanSpliced || pr.PlanRepair == nil || !pr.PlanRepair.Spliced {
+		t.Fatalf("tiny batch did not splice: %+v (repair %+v)", pr, pr.PlanRepair)
+	}
+	if pr.PlanRepair.Reason != "" {
+		t.Fatalf("spliced repair carries a rebuild reason %q", pr.PlanRepair.Reason)
+	}
+
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.PlanSplices != 1 || snap.PlanRebuilds != 0 {
+		t.Errorf("plan repair metrics = %d splices / %d rebuilds, want 1 / 0",
+			snap.PlanSplices, snap.PlanRebuilds)
+	}
+	var usage obs.TenantUsage
+	if code := doJSON(t, "GET", ts.URL+"/v1/tenants/default/usage", nil, &usage); code != http.StatusOK {
+		t.Fatalf("tenant usage: status %d", code)
+	}
+	if usage.PlanSplices != 1 || usage.PlanRepairWork <= 0 {
+		t.Errorf("tenant plan accounting = %+v, want 1 splice with positive work", usage)
+	}
+}
+
+// TestPatchSpliceDisabled pins the fallback knob: a negative SpliceMaxCone
+// forces every PATCH onto the from-scratch rebuild path, with identical
+// client-visible results.
+func TestPatchSpliceDisabled(t *testing.T) {
+	ts := newTestServer(t, server.Config{SpliceMaxCone: -1})
+	info := uploadDiamond(t, ts.URL)
+	var pr server.PatchResult
+	if code := patchJSON(t, ts.URL, info.ID,
+		server.PatchSpec{Add: [][2]int{{0, 3}}}, &pr); code != http.StatusOK {
+		t.Fatalf("patch: status %d", code)
+	}
+	if pr.PlanSpliced || pr.PlanRepair == nil || pr.PlanRepair.Reason == "" {
+		t.Fatalf("splice not disabled: %+v (repair %+v)", pr, pr.PlanRepair)
+	}
+	if snap := metricsSnapshot(t, ts.URL); snap.PlanRebuilds != 1 || snap.PlanSplices != 0 {
+		t.Errorf("metrics = %d splices / %d rebuilds, want 0 / 1", snap.PlanSplices, snap.PlanRebuilds)
+	}
+}
+
+// TestPatchStormSpliceStress is the -race stress for the splice path:
+// concurrent PATCH batches (some with auto-maintain) race placements and
+// reads on one graph, every successful batch repairs the shared plan, and
+// the final spliced plan serves correct evaluations.
+func TestPatchStormSpliceStress(t *testing.T) {
+	ts := newTestServer(t, server.Config{Workers: 2})
+	// A fan 0→1..40: mutator w toggles its own edge (1+w, 21+w), so the
+	// goroutines never conflict and every batch is accepted.
+	var sb strings.Builder
+	for i := 1; i <= 40; i++ {
+		fmt.Fprintf(&sb, "0 %d\n", i)
+	}
+	var info server.GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		server.GraphSpec{Name: "fan", Edges: sb.String()}, &info); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+
+	const (
+		mutators = 4
+		rounds   = 20
+	)
+	send := func(spec server.PatchSpec) (server.PatchResult, int, error) {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return server.PatchResult{}, 0, err
+		}
+		req, err := http.NewRequest("PATCH", ts.URL+"/v1/graphs/"+info.ID+"/edges", bytes.NewReader(b))
+		if err != nil {
+			return server.PatchResult{}, 0, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return server.PatchResult{}, 0, err
+		}
+		defer resp.Body.Close()
+		var pr server.PatchResult
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				return server.PatchResult{}, resp.StatusCode, err
+			}
+		}
+		return pr, resp.StatusCode, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		jobIDs []string
+		errs   []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		errs = append(errs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	for w := 0; w < mutators; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a, b := 1+w, 21+w
+			for i := 0; i < rounds; i++ {
+				spec := server.PatchSpec{}
+				if i%2 == 0 {
+					spec.Add = [][2]int{{a, b}}
+				} else {
+					spec.Remove = [][2]int{{a, b}}
+				}
+				if i%5 == 0 {
+					spec.Maintain, spec.K = true, 2
+				}
+				pr, code, err := send(spec)
+				if err != nil || code != http.StatusOK {
+					fail("mutator %d round %d: status %d err %v", w, i, code, err)
+					return
+				}
+				if pr.PlanRepair == nil {
+					fail("mutator %d round %d: no plan repair reported", w, i)
+					return
+				}
+				if pr.Job != nil {
+					mu.Lock()
+					jobIDs = append(jobIDs, pr.Job.ID)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	// Readers race the mutators on the same graph: evaluations and info
+	// reads must always see a consistent model.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2*rounds; i++ {
+				resp, err := http.Get(ts.URL + "/v1/graphs/" + info.ID + "/evaluate?filters=5,9")
+				if err != nil {
+					fail("reader: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("reader: evaluate status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	for _, id := range jobIDs {
+		if done := waitJob(t, ts.URL, id); done.State != server.JobDone {
+			t.Fatalf("maintain job %s = %+v", id, done)
+		}
+	}
+
+	// Each mutator ran an equal number of adds and removes, so the fan is
+	// back to its original 40 edges — and the spliced plan must agree.
+	var got server.GraphInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/"+info.ID, nil, &got); code != http.StatusOK {
+		t.Fatalf("GET graph: status %d", code)
+	}
+	if got.Edges != 40 || got.Patches != mutators*rounds {
+		t.Fatalf("after storm: %+v, want 40 edges and %d patches", got, mutators*rounds)
+	}
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.GraphsPatched != mutators*rounds {
+		t.Fatalf("graphs_patched = %d, want %d", snap.GraphsPatched, mutators*rounds)
+	}
+	if snap.PlanSplices+snap.PlanRebuilds < snap.GraphsPatched {
+		t.Fatalf("plan repairs %d+%d < patches %d: a batch skipped plan repair",
+			snap.PlanSplices, snap.PlanRebuilds, snap.GraphsPatched)
+	}
+	// The fan's Φ(∅): root emits 1 copy to each of its 40 children.
+	var ev server.PlaceResult
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/"+info.ID+"/evaluate?filters=", nil, &ev); code != http.StatusOK {
+		t.Fatalf("final evaluate: status %d", code)
+	}
+	if ev.PhiEmpty != 40 {
+		t.Fatalf("Φ(∅) over the post-storm plan = %v, want 40", ev.PhiEmpty)
 	}
 }
 

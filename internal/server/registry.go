@@ -245,6 +245,11 @@ type graphEntry struct {
 	dynMu      sync.Mutex
 	dynamic    *dyn.Dynamic
 	maintainer *dyn.Maintainer
+	// splicer repairs the entry's execution plan incrementally per PATCH
+	// batch (guarded by dynMu, like the overlay it watches). It is shared
+	// with the maintainer, so auto-maintain and the placement path run on
+	// the same spliced plan instead of each rebuilding their own.
+	splicer *flow.Splicer
 }
 
 // ErrUnknownGraph is returned by mutation paths when the graph id is not
@@ -258,6 +263,9 @@ type Registry struct {
 	entries *lruMap[string, *graphEntry]
 	nextID  int
 	metrics *Metrics
+	// spliceOpts tunes every entry's plan splicer (the fpd
+	// -splice-max-cone flag); read-only after SetSpliceOptions.
+	spliceOpts flow.SpliceOptions
 }
 
 // NewRegistry creates a registry holding at most capacity graphs
@@ -265,6 +273,10 @@ type Registry struct {
 func NewRegistry(capacity int, m *Metrics) *Registry {
 	return &Registry{entries: newLRUMap[string, *graphEntry](capacity), metrics: m}
 }
+
+// SetSpliceOptions configures the plan-splice threshold used for every
+// subsequently upgraded dynamic graph. Call before serving requests.
+func (r *Registry) SetSpliceOptions(o flow.SpliceOptions) { r.spliceOpts = o }
 
 // Add registers a validated model under a fresh id and returns its info.
 // It may evict the least-recently-used graph.
@@ -313,39 +325,58 @@ func (r *Registry) entry(id string) (*graphEntry, bool) {
 
 // Patch applies a mutation batch to graph id, upgrading the entry to a
 // dynamic overlay on first use and swapping in a refreshed immutable model
-// for readers. It returns the updated info and the overlay's apply result;
-// a rejected batch (cycle, bad edge) changes nothing. The entry's dynMu
-// serializes mutations and maintenance per graph while other graphs stay
-// fully concurrent.
-func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, error) {
+// for readers. It returns the updated info, the overlay's apply result and
+// what the plan repair did; a rejected batch (cycle, bad edge) changes
+// nothing. The entry's dynMu serializes mutations and maintenance per
+// graph while other graphs stay fully concurrent.
+//
+// The refreshed model is NOT rebuilt from a snapshot: the entry's splicer
+// repairs the execution plan within the batch's dirty cone and the model
+// is stood up over the spliced plan in O(n+m), so subsequent placements
+// (and the auto-maintain job) reuse it directly.
+func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, flow.SpliceStats, error) {
 	e, ok := r.entry(id)
 	if !ok {
-		return GraphInfo{}, dyn.ApplyResult{}, ErrUnknownGraph
+		return GraphInfo{}, dyn.ApplyResult{}, flow.SpliceStats{}, ErrUnknownGraph
 	}
 	e.dynMu.Lock()
 	defer e.dynMu.Unlock()
 	if err := r.upgradeLocked(e); err != nil {
-		return GraphInfo{}, dyn.ApplyResult{}, err
+		return GraphInfo{}, dyn.ApplyResult{}, flow.SpliceStats{}, err
 	}
 	var (
 		res dyn.ApplyResult
 		err error
 	)
 	// Route through the maintainer when one exists so its incremental flow
-	// state stays warm; otherwise mutate the overlay directly.
+	// state stays warm; otherwise mutate the overlay directly. Either way
+	// the shared splicer ends up holding the repaired plan.
 	if e.maintainer != nil {
 		res, err = e.maintainer.Apply(b)
 	} else {
 		res, err = e.dynamic.Apply(b)
+		if err == nil {
+			e.splicer.Apply(res.DirtyFwd, res.DirtyBwd, res.NodesAdded)
+		}
 	}
 	if err != nil {
-		return GraphInfo{}, res, err
+		return GraphInfo{}, res, flow.SpliceStats{}, err
 	}
-	// The overlay pins the sources, so a fresh model over the snapshot
-	// cannot fail validation.
-	model, err := flow.NewModel(e.dynamic.Snapshot(), e.dynamic.Sources())
+	st := e.splicer.Last()
+	if st.Spliced {
+		r.metrics.PlanSplices.Add(1)
+	} else {
+		r.metrics.PlanRebuilds.Add(1)
+	}
+	// The overlay pins the sources, so a model over the spliced plan
+	// cannot fail validation; the snapshot build is a belt-and-suspenders
+	// fallback only.
+	model, err := flow.NewModelFromPlan(e.splicer.Plan(), e.dynamic.Sources())
 	if err != nil {
-		return GraphInfo{}, res, err
+		model, err = flow.NewModel(e.dynamic.Snapshot(), e.dynamic.Sources())
+		if err != nil {
+			return GraphInfo{}, res, st, err
+		}
 	}
 
 	r.mu.Lock()
@@ -354,7 +385,7 @@ func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, er
 	// gone rather than a confirmed patch on a 404-ing id.
 	if cur, ok := r.entries.peek(id); !ok || cur != e {
 		r.mu.Unlock()
-		return GraphInfo{}, res, ErrUnknownGraph
+		return GraphInfo{}, res, st, ErrUnknownGraph
 	}
 	e.model = model
 	e.info.Nodes = e.dynamic.N()
@@ -367,7 +398,7 @@ func (r *Registry) Patch(id string, b dyn.Batch) (GraphInfo, dyn.ApplyResult, er
 	r.metrics.GraphsPatched.Add(1)
 	r.metrics.EdgesAdded.Add(int64(res.EdgesAdded))
 	r.metrics.EdgesRemoved.Add(int64(res.EdgesRemoved))
-	return info, res, nil
+	return info, res, st, nil
 }
 
 // Maintainer returns graph id's placement maintainer with budget k,
@@ -387,7 +418,7 @@ func (r *Registry) Maintainer(id string, k, parallelism int) (*dyn.Maintainer, f
 		return nil, nil, err
 	}
 	if e.maintainer == nil {
-		mt, err := dyn.NewMaintainer(e.dynamic, dyn.Options{K: k, Parallelism: parallelism}, nil)
+		mt, err := dyn.NewMaintainer(e.dynamic, dyn.Options{K: k, Parallelism: parallelism, Splicer: e.splicer}, nil)
 		if err != nil {
 			e.dynMu.Unlock()
 			return nil, nil, err
@@ -414,6 +445,9 @@ func (r *Registry) upgradeLocked(e *graphEntry) error {
 		return err
 	}
 	e.dynamic = d
+	// Adopt the model's already-built plan so the first PATCH splices
+	// instead of paying a from-scratch build.
+	e.splicer = flow.NewSplicer(d, m.Plan(), r.spliceOpts)
 	return nil
 }
 
