@@ -172,6 +172,41 @@ func BenchmarkAlgoGreedyL(b *testing.B) {
 	}
 }
 
+// --- Approximate placement engine (k = 20, full Twitter stand-in).
+// BenchmarkApproxPlace vs BenchmarkApproxPlaceExactCELF is the wall-clock
+// half of the BENCH_approx.json comparison; the objective-quality half is
+// the property suite in internal/core.
+
+func BenchmarkApproxPlace(b *testing.B) {
+	fx := twitter(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fp.Place(ctx, fx.ev, 20, fp.PlaceOptions{Strategy: fp.StrategyApproxCELF})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Filters) == 0 || res.PhiCI == nil {
+			b.Fatalf("degenerate approx placement: %d filters, CI %v", len(res.Filters), res.PhiCI)
+		}
+	}
+}
+
+func BenchmarkApproxPlaceExactCELF(b *testing.B) {
+	fx := twitter(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fp.Place(ctx, fx.ev, 20, fp.PlaceOptions{Strategy: fp.StrategyCELF})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Filters) == 0 {
+			b.Fatal("no filters placed")
+		}
+	}
+}
+
 // --- Engine micro-benchmarks on the paper's layered synthetic graph.
 
 func layeredModel(b *testing.B, x float64) *fp.Model {

@@ -1,0 +1,24 @@
+// Command fpbench measures the approximate placement engine against
+// exact CELF across graph sizes and writes the comparison as a
+// host-stamped JSON artifact (BENCH_approx.json at the repo root).
+//
+// Usage:
+//
+//	fpbench                      # full sweep, writes BENCH_approx.json
+//	fpbench -quick -out -        # CI smoke: tiny graphs, JSON to stdout
+//	fpbench -k 10 -quality 0.1   # different budget / error target
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.RunFpbench(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

@@ -197,6 +197,12 @@ const (
 	StrategyRandI       = core.StrategyRandI
 	StrategyRandW       = core.StrategyRandW
 	StrategyProp1       = core.StrategyProp1
+	// StrategyApproxCELF is the approximate engine: CELF's lazy greedy
+	// driven by sampled gain estimates, with exact re-checks only at heap
+	// tops — exact oracle work scales with k, not V·k. Quality (or
+	// SampleBudget/SampleSeed) in PlaceOptions tunes it; the Result
+	// carries a sampled confidence interval on Φ(A).
+	StrategyApproxCELF = core.StrategyApproxCELF
 )
 
 // PlaceStrategies lists every strategy Place accepts.
@@ -565,6 +571,26 @@ type MCResult = flow.MCResult
 func MonteCarlo(m *Model, filters []bool, runs int, seed int64) (MCResult, error) {
 	return flow.MonteCarlo(m, filters, runs, seed)
 }
+
+// MonteCarloP is MonteCarlo with an explicit worker bound. Results are
+// bit-for-bit identical at every procs setting (runs are sharded into
+// fixed-size blocks whose RNG streams derive from the seed alone).
+func MonteCarloP(m *Model, filters []bool, runs int, seed int64, procs int) (MCResult, error) {
+	return flow.MonteCarloP(m, filters, runs, seed, procs)
+}
+
+// SamplingEngine estimates Φ and per-node impacts by sampled topological
+// passes — O(V + EdgeRate·E) per pass instead of O(V + E) — with a
+// confidence interval on Φ. It implements Evaluator, and its estimates
+// depend only on the seed, never on the worker count.
+type SamplingEngine = flow.SamplingEngine
+
+// SampleOptions configures NewSampling; the zero value gives the engine
+// defaults.
+type SampleOptions = flow.SampleOptions
+
+// NewSampling builds a sampled estimator over the model.
+func NewSampling(m *Model, opts SampleOptions) *SamplingEngine { return flow.NewSampling(m, opts) }
 
 // Betweenness returns Brandes betweenness centrality for every node. The
 // paper's §2 argues (and experiment abl-between confirms) that central

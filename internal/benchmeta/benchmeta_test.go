@@ -1,0 +1,63 @@
+package benchmeta
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCurrent(t *testing.T) {
+	h := Current()
+	if h.CPUs < 1 || h.GOMAXPROCS < 1 {
+		t.Fatalf("Current() = %+v, want cpus and gomaxprocs ≥ 1", h)
+	}
+	if h.Go != runtime.Version() || h.OS != runtime.GOOS || h.Arch != runtime.GOARCH {
+		t.Errorf("toolchain fields = %q/%q/%q", h.Go, h.OS, h.Arch)
+	}
+	if runtime.GOARCH == "amd64" && !strings.HasPrefix(h.GOAMD64, "v") {
+		t.Errorf("GOAMD64 = %q, want v1..v4 on amd64", h.GOAMD64)
+	}
+	if s := h.String(); !strings.Contains(s, "GOMAXPROCS=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestBenchArtifactsCarryHostMetadata makes the repo's "recorded on a
+// 1-CPU container" caveat machine-checkable: every BENCH_*.json must
+// carry a host object with the fields that qualify its numbers.
+func TestBenchArtifactsCarryHostMetadata(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json artifacts found at the repo root")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Host *Host `json:"host"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if doc.Host == nil {
+			t.Errorf("%s: no host object — the measurement context is unverifiable", filepath.Base(path))
+			continue
+		}
+		h := *doc.Host
+		if h.CPUs < 1 || h.GOMAXPROCS < 1 || h.Go == "" || h.OS == "" || h.Arch == "" {
+			t.Errorf("%s: incomplete host metadata %+v", filepath.Base(path), h)
+		}
+		if h.Arch == "amd64" && h.GOAMD64 == "" {
+			t.Errorf("%s: amd64 artifact without a GOAMD64 level", filepath.Base(path))
+		}
+	}
+}

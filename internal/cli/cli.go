@@ -146,7 +146,7 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	var (
 		in        = fs.String("in", "", "edge-list input file ('-' for stdin); additional files may be passed as positional arguments for batched placement")
 		k         = fs.Int("k", 10, "filter budget")
-		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | naive | randk | randi | randw | prop1 | tree")
+		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | approx | naive | randk | randi | randw | prop1 | tree")
 		engine    = fs.String("engine", "float", "float | big (exact)")
 		source    = fs.Int("source", -1, "source node id (-1: all in-degree-0 nodes, or best root with -acyclic)")
 		acyclicF  = fs.Bool("acyclic", false, "extract a maximal acyclic subgraph first (paper §4.3)")
@@ -156,6 +156,7 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 		showStats = fs.Bool("stats", false, "print graph degree statistics")
 		impacts   = fs.Bool("impacts", false, "print the per-node impact table instead of placing filters")
 		weighted  = fs.Bool("weighted", false, "input is 'u v p' with relay probabilities (probabilistic model; float engine only)")
+		quality   = fs.Float64("quality", 0, "approx algorithm: target relative estimate error in (0, 0.5] (0 = engine default)")
 		dotOut    = fs.String("dot", "", "also write a Graphviz DOT file with the placement highlighted")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -263,16 +264,20 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	}
 
 	var filters []int
+	var phiCI *flow.MCResult
 	if strat, ok := cliStrategies[*algo]; ok {
 		res, err := core.Place(context.Background(), ev, *k, core.Options{
 			Strategy:    strat,
 			Parallelism: *procs,
 			Seed:        *seed,
+			Quality:     *quality,
+			SampleSeed:  *seed,
 		})
 		if err != nil {
 			return fmt.Errorf("fpplace: %w", err)
 		}
 		filters = res.Filters
+		phiCI = res.PhiCI
 	} else if *algo == "tree" {
 		if len(m.Sources()) != 1 {
 			return fmt.Errorf("fpplace: tree DP needs exactly one source, have %d", len(m.Sources()))
@@ -318,6 +323,9 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	fmt.Fprintf(stdout, "Φ(A,V):     %.6g\n", ev.Phi(mask))
 	fmt.Fprintf(stdout, "F(A):       %.6g\n", ev.F(mask))
 	fmt.Fprintf(stdout, "FR(A):      %.4f\n", flow.FR(ev, mask))
+	if phiCI != nil {
+		fmt.Fprintf(stdout, "Φ̂(A) CI95:  %.6g ± %.3g (%d sampled passes)\n", phiCI.Mean, phiCI.CI95(), phiCI.Runs)
+	}
 	return nil
 }
 
@@ -327,6 +335,7 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 var cliStrategies = map[string]core.Strategy{
 	"gall":   core.StrategyGreedyAll,
 	"celf":   core.StrategyCELF,
+	"approx": core.StrategyApproxCELF,
 	"naive":  core.StrategyNaive,
 	"gmax":   core.StrategyGreedyMax,
 	"g1":     core.StrategyGreedy1,

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// approxTestModel builds a random DAG (edges low→high id) large enough
+// that the sampled init is meaningfully cheaper than an exact sweep.
+func approxTestModel(t testing.TB, n int, p float64, seed int64) *flow.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := flow.NewModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestApproxCELFQuality is the acceptance property of the approximate
+// engine: on random DAGs where both paths run, approx-celf reaches F(A)
+// within the requested error bound of exact CELF while spending ≥5×
+// fewer exact oracle evaluations — on the float AND the big engine.
+func TestApproxCELFQuality(t *testing.T) {
+	const (
+		n       = 800
+		k       = 10
+		quality = 0.05
+	)
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		m := approxTestModel(t, n, 0.01, seed)
+		exactEv := flow.NewFloat(m)
+		exact, err := Place(ctx, exactEv, k, Options{Strategy: StrategyCELF})
+		if err != nil {
+			t.Fatalf("seed %d: exact celf: %v", seed, err)
+		}
+		fExact := exactEv.F(flow.MaskOf(n, exact.Filters))
+		if fExact <= 0 {
+			t.Fatalf("seed %d: exact F = %v, want > 0 (graph too sparse for the property)", seed, fExact)
+		}
+		engines := map[string]flow.Evaluator{
+			"float": exactEv,
+			"big":   flow.NewBig(m),
+		}
+		for name, ev := range engines {
+			approx, err := Place(ctx, ev, k, Options{Strategy: StrategyApproxCELF, Quality: quality})
+			if err != nil {
+				t.Fatalf("seed %d %s: approx-celf: %v", seed, name, err)
+			}
+			fApprox := exactEv.F(flow.MaskOf(n, approx.Filters))
+			if fApprox < (1-quality)*fExact {
+				t.Errorf("seed %d %s: F(approx) = %v < %v = (1-%v)·F(exact)",
+					seed, name, fApprox, (1-quality)*fExact, quality)
+			}
+			if approx.Stats.GainEvaluations*5 > exact.Stats.GainEvaluations {
+				t.Errorf("seed %d %s: approx exact evals %d, exact celf %d — want ≥5× fewer",
+					seed, name, approx.Stats.GainEvaluations, exact.Stats.GainEvaluations)
+			}
+			if approx.Stats.SampledEvaluations == 0 {
+				t.Errorf("seed %d %s: SampledEvaluations = 0, want > 0", seed, name)
+			}
+			if approx.PhiCI == nil || approx.PhiCI.Runs <= 0 {
+				t.Errorf("seed %d %s: PhiCI = %+v, want a populated confidence interval", seed, name, approx.PhiCI)
+			}
+		}
+	}
+}
+
+// TestApproxCELFDeterminism pins the PR 3/4 contract for the new
+// strategy: filters, OracleStats and the reported confidence interval
+// are bit-for-bit identical at every Parallelism setting.
+func TestApproxCELFDeterminism(t *testing.T) {
+	m := approxTestModel(t, 300, 0.03, 11)
+	ev := flow.NewFloat(m)
+	ctx := context.Background()
+	opts := Options{Strategy: StrategyApproxCELF, Quality: 0.1, SampleSeed: 42}
+	serial, err := Place(ctx, ev, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		o := opts
+		o.Parallelism = procs
+		par, err := Place(ctx, ev, 8, o)
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !reflect.DeepEqual(par.Filters, serial.Filters) {
+			t.Errorf("P=%d: filters %v, serial %v", procs, par.Filters, serial.Filters)
+		}
+		if par.Stats != serial.Stats {
+			t.Errorf("P=%d: stats %+v, serial %+v", procs, par.Stats, serial.Stats)
+		}
+		if *par.PhiCI != *serial.PhiCI {
+			t.Errorf("P=%d: PhiCI %+v, serial %+v", procs, *par.PhiCI, *serial.PhiCI)
+		}
+	}
+}
+
+// TestApproxCELFQualityKnob checks the knob's direction: tighter quality
+// buys more sampled passes and a higher edge rate, and out-of-range
+// values clamp instead of exploding.
+func TestApproxCELFQualityKnob(t *testing.T) {
+	epsTight, tight := approxSampleOptions(Options{Quality: 0.01})
+	epsLoose, loose := approxSampleOptions(Options{Quality: 0.25})
+	if epsTight >= epsLoose {
+		t.Fatalf("eps: tight %v ≥ loose %v", epsTight, epsLoose)
+	}
+	if tight.Samples <= loose.Samples {
+		t.Errorf("samples: tight %d ≤ loose %d", tight.Samples, loose.Samples)
+	}
+	if tight.EdgeRate <= loose.EdgeRate {
+		t.Errorf("edge rate: tight %v ≤ loose %v", tight.EdgeRate, loose.EdgeRate)
+	}
+	if eps, _ := approxSampleOptions(Options{Quality: 99}); eps != 0.5 {
+		t.Errorf("quality 99 clamps to %v, want 0.5", eps)
+	}
+	if eps, _ := approxSampleOptions(Options{}); eps != DefaultQuality {
+		t.Errorf("zero quality = %v, want DefaultQuality", eps)
+	}
+	if _, o := approxSampleOptions(Options{SampleBudget: 3}); o.Samples != 3 {
+		t.Errorf("SampleBudget override = %d, want 3", o.Samples)
+	}
+}
+
+// TestApproxCELFCancellation: a canceled context aborts mid-placement
+// with no filters, like every other strategy.
+func TestApproxCELFCancellation(t *testing.T) {
+	m := approxTestModel(t, 200, 0.03, 5)
+	ev := flow.NewFloat(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Place(ctx, ev, 5, Options{Strategy: StrategyApproxCELF})
+	if err == nil {
+		t.Fatal("want context error, got nil")
+	}
+	if len(res.Filters) != 0 {
+		t.Errorf("canceled placement returned filters %v", res.Filters)
+	}
+}
+
+// TestApproxCELFStress hammers concurrent approximate placements over
+// models sharing nothing but the process-wide scheduler and, per model,
+// the plan's scratch arena — the -race CI job runs this specifically.
+func TestApproxCELFStress(t *testing.T) {
+	m := approxTestModel(t, 250, 0.03, 7)
+	ctx := context.Background()
+	want, err := Place(ctx, flow.NewFloat(m), 6, Options{Strategy: StrategyApproxCELF, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				ev := flow.NewFloat(m)
+				res, err := Place(ctx, ev, 6, Options{Strategy: StrategyApproxCELF, Parallelism: 1 + g%4})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				ev.ReleaseScratch()
+				if !reflect.DeepEqual(res.Filters, want.Filters) {
+					t.Errorf("goroutine %d: filters %v, want %v", g, res.Filters, want.Filters)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -57,6 +57,11 @@ func GreedyAllCtx(ctx context.Context, ev flow.Evaluator, k int) ([]int, error) 
 type OracleStats struct {
 	// GainEvaluations counts single-node marginal-gain computations.
 	GainEvaluations int `json:"gain_evaluations"`
+	// SampledEvaluations counts single-node SAMPLED gain/Φ estimates
+	// (approx-celf only): each costs EdgeRate-sampled passes instead of
+	// exact ones. Like GainEvaluations it is part of the deterministic
+	// contract — identical at every Parallelism setting.
+	SampledEvaluations int `json:"sampled_evaluations,omitempty"`
 	// Iterations counts greedy rounds completed.
 	Iterations int `json:"iterations"`
 }

@@ -27,6 +27,13 @@ const (
 	// laziness: every candidate re-evaluates every round. Candidates shard
 	// across cloned evaluators.
 	StrategyNaive Strategy = "naive"
+	// StrategyApproxCELF is CELF on SAMPLED gain estimates: the lazy heap
+	// is seeded by a flow.SamplingEngine's edge-sampled estimates and only
+	// the heap-top handful is re-checked exactly before each commit, so
+	// exact oracle work scales with k instead of V·k. Options.Quality sets
+	// the target relative error; Result.PhiCI reports the sampled
+	// confidence interval on Φ(A).
+	StrategyApproxCELF Strategy = "approx-celf"
 	// StrategyGreedyMax is the paper's Greedy_Max (impacts once, top k).
 	StrategyGreedyMax Strategy = "greedy-max"
 	// StrategyGreedy1 is the paper's Greedy_1 (rank by din·dout).
@@ -49,7 +56,7 @@ const (
 // Strategies lists every strategy Place accepts, in documentation order.
 func Strategies() []Strategy {
 	return []Strategy{
-		StrategyGreedyAll, StrategyCELF, StrategyNaive,
+		StrategyGreedyAll, StrategyCELF, StrategyNaive, StrategyApproxCELF,
 		StrategyGreedyMax, StrategyGreedy1, StrategyGreedyL, StrategyGreedyLFast,
 		StrategyRandK, StrategyRandI, StrategyRandW, StrategyProp1,
 	}
@@ -92,6 +99,19 @@ type Options struct {
 	// way). Accounting happens strictly after the algorithm finishes, so
 	// placements are bit-identical with accounting on or off.
 	Account *obs.TenantCounters
+	// Quality is approx-celf's target relative estimate error ε: smaller
+	// values buy more sampled passes and a higher edge-sampling rate.
+	// 0 means DefaultQuality; values are clamped to [0.005, 0.5].
+	// Ignored by every other strategy.
+	Quality float64
+	// SampleBudget, when > 0, overrides the Quality-derived number of
+	// sampled passes per estimate (flow.SampleOptions.Samples).
+	// Ignored by every other strategy.
+	SampleBudget int
+	// SampleSeed drives approx-celf's deterministic sampling streams.
+	// Independent of Seed (which feeds the randomized baselines) so the
+	// two knobs cannot alias.
+	SampleSeed int64
 }
 
 // Result is a placement outcome.
@@ -115,6 +135,9 @@ type Result struct {
 	// parallel CELF runs speculative evaluations whose passes execute even
 	// when their results are discarded by the serial-replay commit.
 	Passes PassStats
+	// PhiCI, set by approx-celf only, is the sampling engine's confidence
+	// interval on Φ(A) for the returned filter set.
+	PhiCI *flow.MCResult
 }
 
 // PassStats counts forward (Φ/receive) and suffix (amplification)
@@ -160,6 +183,8 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		err = placeCELF(ctx, ev, k, opts, &res)
 	case StrategyNaive:
 		err = placeNaive(ctx, ev, k, opts, &res)
+	case StrategyApproxCELF:
+		err = placeApproxCELF(ctx, ev, k, opts, &res)
 	case StrategyGreedyMax:
 		n := ev.Model().N()
 		res.Filters = topK(impactsOf(ev, nil, opts.Parallelism, &res), k)
@@ -185,7 +210,7 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		f, s := passCounter.Passes()
 		res.Passes = PassStats{Forward: f - passF0, Suffix: s - passS0}
 	}
-	opts.Account.AddPlacement(int64(res.Stats.GainEvaluations), res.Passes.Forward, res.Passes.Suffix)
+	opts.Account.AddPlacement(int64(res.Stats.GainEvaluations), int64(res.Stats.SampledEvaluations), res.Passes.Forward, res.Passes.Suffix)
 	if err != nil {
 		res.Filters = nil // partial placements are not usable results
 		return res, err

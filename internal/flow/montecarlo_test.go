@@ -2,6 +2,7 @@ package flow
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/graph"
@@ -110,5 +111,40 @@ func TestMonteCarloReproducible(t *testing.T) {
 	}
 	if a.Mean != b.Mean || a.StdErr != b.StdErr {
 		t.Error("same seed produced different estimates")
+	}
+}
+
+// TestMonteCarloParallelDeterminism: the shard layout depends only on
+// (runs, seed), so the estimate is bit-for-bit identical whether shards
+// run inline or across the scheduler at any parallelism — including a
+// run count that does not divide evenly into shards.
+func TestMonteCarloParallelDeterminism(t *testing.T) {
+	g := fig1(t)
+	m := MustModel(g, nil).WithWeights(func(u, v int) float64 { return 0.5 })
+	for _, runs := range []int{1, 16, 50, 200} {
+		serial, err := MonteCarloP(m, nil, runs, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Runs != runs {
+			t.Errorf("runs=%d: reported Runs = %d", runs, serial.Runs)
+		}
+		for _, procs := range []int{4, runtime.GOMAXPROCS(0)} {
+			par, err := MonteCarloP(m, nil, runs, 42, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par != serial {
+				t.Errorf("runs=%d P=%d: %+v, serial %+v", runs, procs, par, serial)
+			}
+		}
+		// The default entry point uses the scheduler; same contract.
+		def, err := MonteCarlo(m, nil, runs, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def != serial {
+			t.Errorf("runs=%d: MonteCarlo %+v, MonteCarloP(…,1) %+v", runs, def, serial)
+		}
 	}
 }

@@ -1,0 +1,264 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sampleTestModel builds a random DAG (edges low→high) dense enough that
+// many rows exceed the sampling floor, so the sampled kernels actually
+// sample.
+func sampleTestModel(t testing.TB, n int, p float64, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSamplingEngineDeterminismAcrossWorkers is the determinism gate of
+// the tentpole: for a fixed seed the sampled estimates are bit-for-bit
+// identical at P = 1, 4 and GOMAXPROCS — draws derive from (seed, pass,
+// node) coordinates, never from chunking or scheduler state.
+func TestSamplingEngineDeterminismAcrossWorkers(t *testing.T) {
+	m := sampleTestModel(t, 500, 0.05, 3)
+	filters := make([]bool, m.N())
+	for v := 0; v < m.N(); v += 7 {
+		if !m.IsSource(v) {
+			filters[v] = true
+		}
+	}
+	base := NewSampling(m, SampleOptions{Seed: 99, Parallelism: 1})
+	refPhi := base.PhiEstimate(filters)
+	refImp := base.Impacts(filters)
+	refRec := base.Received(nil)
+	base.ReleaseScratch()
+	for _, procs := range []int{4, runtime.GOMAXPROCS(0)} {
+		e := NewSampling(m, SampleOptions{Seed: 99, Parallelism: procs})
+		if got := e.PhiEstimate(filters); got != refPhi {
+			t.Errorf("P=%d: PhiEstimate %+v, serial %+v", procs, got, refPhi)
+		}
+		imp := e.Impacts(filters)
+		for v := range imp {
+			if imp[v] != refImp[v] {
+				t.Fatalf("P=%d: Impacts[%d] = %v, serial %v", procs, v, imp[v], refImp[v])
+			}
+		}
+		rec := e.Received(nil)
+		for v := range rec {
+			if rec[v] != refRec[v] {
+				t.Fatalf("P=%d: Received[%d] = %v, serial %v", procs, v, rec[v], refRec[v])
+			}
+		}
+		e.ReleaseScratch()
+	}
+}
+
+// TestSamplingEngineExactBelowFloor: on a graph where every row's degree
+// is at or below the sampling floor the sampled passes ARE the exact
+// passes — estimates equal the float engine bit-for-bit with StdErr 0.
+func TestSamplingEngineExactBelowFloor(t *testing.T) {
+	g := graph.MustFromEdges(6, [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 5}, {4, 5}})
+	m := MustModel(g, nil)
+	exact := NewFloat(m)
+	se := NewSampling(m, SampleOptions{Seed: 7})
+	if got, want := se.Phi(nil), exact.Phi(nil); got != want {
+		t.Errorf("Phi(nil) = %v, exact %v", got, want)
+	}
+	if ci := se.PhiEstimate(nil); ci.StdErr != 0 {
+		t.Errorf("StdErr = %v on an exactly-computed graph, want 0", ci.StdErr)
+	}
+	impS, impE := se.Impacts(nil), exact.Impacts(nil)
+	for v := range impS {
+		if impS[v] != impE[v] {
+			t.Errorf("Impacts[%d] = %v, exact %v", v, impS[v], impE[v])
+		}
+	}
+	if se.MaxF() != exact.MaxF() {
+		t.Errorf("MaxF = %v, exact %v", se.MaxF(), exact.MaxF())
+	}
+	vS, gS := se.ArgmaxImpact(nil, nil)
+	vE, gE := exact.ArgmaxImpact(nil, nil)
+	if vS != vE || gS != gE {
+		t.Errorf("ArgmaxImpact = (%d, %v), exact (%d, %v)", vS, gS, vE, gE)
+	}
+}
+
+// hubTestModel builds a layered hub graph — the engine's target class:
+// every level-(l+1) node receives edges from `fanIn` random level-l
+// nodes, so rows are well above the sampling floor and within-row values
+// share a magnitude.
+func hubTestModel(t testing.TB, levels, perLevel, fanIn int, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(levels * perLevel)
+	for l := 1; l < levels; l++ {
+		for j := 0; j < perLevel; j++ {
+			v := l*perLevel + j
+			for c := 0; c < fanIn; c++ {
+				b.AddEdge((l-1)*perLevel+rng.Intn(perLevel), v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSamplingEngineAccuracy: on a hub graph where rows really are
+// sampled, the Φ estimate lands within a few percent of exact and the
+// reported interval is a sane scale for the actual error.
+func TestSamplingEngineAccuracy(t *testing.T) {
+	m := hubTestModel(t, 8, 60, 24, 5)
+	exact := NewFloat(m)
+	want := exact.Phi(nil)
+	for _, seed := range []int64{1, 2, 3} {
+		se := NewSampling(m, SampleOptions{Seed: seed, Samples: 16})
+		est := se.PhiEstimate(nil)
+		relErr := math.Abs(est.Mean-want) / want
+		if relErr > 0.05 {
+			t.Errorf("seed %d: Phi estimate %v vs exact %v (rel err %.3f > 0.05)", seed, est.Mean, want, relErr)
+		}
+		if est.StdErr <= 0 {
+			t.Errorf("seed %d: StdErr = %v on a sampled graph, want > 0", seed, est.StdErr)
+		}
+		if est.Runs != 16 {
+			t.Errorf("seed %d: Runs = %d, want 16", seed, est.Runs)
+		}
+		// The interval should cover the actual error within a few widths.
+		if err := math.Abs(est.Mean - want); err > 8*est.CI95()+1e-9*want {
+			t.Errorf("seed %d: error %v far outside the reported CI95 %v", seed, err, est.CI95())
+		}
+		se.ReleaseScratch()
+	}
+}
+
+// TestSamplingEngineClone: clones share invariants but not scratch, and
+// produce identical estimates (streams are coordinate-derived).
+func TestSamplingEngineClone(t *testing.T) {
+	m := sampleTestModel(t, 300, 0.06, 9)
+	e := NewSampling(m, SampleOptions{Seed: 4})
+	c := e.Clone().(*SamplingEngine)
+	if got, want := c.Phi(nil), e.Phi(nil); got != want {
+		t.Errorf("clone Phi(nil) = %v, root %v", got, want)
+	}
+	filters := make([]bool, m.N())
+	filters[m.N()/2] = !m.IsSource(m.N() / 2)
+	if got, want := c.PhiEstimate(filters), e.PhiEstimate(filters); got != want {
+		t.Errorf("clone PhiEstimate = %+v, root %+v", got, want)
+	}
+	c.ReleaseScratch()
+	e.ReleaseScratch()
+}
+
+// TestSamplingEnginePassCounting: sampled passes are counted like engine
+// passes, shared across clones.
+func TestSamplingEnginePassCounting(t *testing.T) {
+	m := sampleTestModel(t, 200, 0.05, 2)
+	e := NewSampling(m, SampleOptions{Seed: 1, Samples: 4})
+	f0, s0 := e.Passes()
+	if f0 != 4 { // construction estimates Φ(∅,V): Samples forward passes
+		t.Errorf("construction forward passes = %d, want 4", f0)
+	}
+	e.Impacts(nil)
+	f1, s1 := e.Passes()
+	if f1-f0 != 4 || s1-s0 != 4 {
+		t.Errorf("Impacts pass delta = (%d, %d), want (4, 4)", f1-f0, s1-s0)
+	}
+}
+
+// TestSampleOptionsNormalization pins defaults and clamps.
+func TestSampleOptionsNormalization(t *testing.T) {
+	o := SampleOptions{}.normalized()
+	if o.Samples != DefaultSamples || o.EdgeRate != DefaultEdgeRate || o.MinEdges != DefaultMinSampleEdges {
+		t.Errorf("zero options normalize to %+v", o)
+	}
+	if o.Parallelism < 1 {
+		t.Errorf("normalized Parallelism = %d, want ≥ 1", o.Parallelism)
+	}
+	if o := (SampleOptions{Samples: 10_000, EdgeRate: 3}).normalized(); o.Samples != maxSamples || o.EdgeRate != 1 {
+		t.Errorf("clamped options = %+v", o)
+	}
+}
+
+// FuzzSampledPass feeds random DAGs through the sampling engine and
+// asserts estimates are finite, deterministic across parallelism, and
+// exactly equal to the float engine wherever no row crosses the
+// sampling floor.
+func FuzzSampledPass(f *testing.F) {
+	f.Add(uint8(5), int64(1), []byte{0, 1, 1, 2, 0, 3, 3, 4})
+	f.Add(uint8(12), int64(7), []byte{0, 11, 1, 2, 2, 9, 9, 10, 3, 4, 4, 5, 5, 6, 0, 7})
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, raw []byte) {
+		n := int(nRaw%64) + 1
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(raw) && i < 256; i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			b.AddEdge(u, v)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Skip()
+		}
+		m, err := NewModel(g, nil)
+		if err != nil {
+			t.Skip()
+		}
+		serial := NewSampling(m, SampleOptions{Seed: seed, Samples: 3, Parallelism: 1})
+		phi := serial.PhiEstimate(nil)
+		if math.IsNaN(phi.Mean) || math.IsInf(phi.Mean, 0) || phi.StdErr < 0 {
+			t.Fatalf("degenerate estimate %+v", phi)
+		}
+		imp := serial.Impacts(nil)
+		for v, gn := range imp {
+			if math.IsNaN(gn) || gn < 0 {
+				t.Fatalf("Impacts[%d] = %v", v, gn)
+			}
+		}
+		par := NewSampling(m, SampleOptions{Seed: seed, Samples: 3, Parallelism: 4})
+		if got := par.PhiEstimate(nil); got != phi {
+			t.Fatalf("parallel estimate %+v, serial %+v", got, phi)
+		}
+		belowFloor := true
+		for v := 0; v < n; v++ {
+			if g.InDegree(v) > DefaultMinSampleEdges {
+				belowFloor = false
+				break
+			}
+		}
+		if belowFloor {
+			if got, want := serial.Phi(nil), NewFloat(m).Phi(nil); got != want {
+				t.Fatalf("below-floor Phi = %v, exact %v", got, want)
+			}
+		}
+	})
+}

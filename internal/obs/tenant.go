@@ -55,6 +55,7 @@ type TenantCounters struct {
 
 	placements    atomic.Int64
 	oracleEvals   atomic.Int64
+	sampledEvals  atomic.Int64
 	forwardPasses atomic.Int64
 	suffixPasses  atomic.Int64
 
@@ -110,16 +111,19 @@ func (c *TenantCounters) AddJobOutcome(state string) {
 	}
 }
 
-// AddPlacement attributes one completed placement's oracle evaluations
-// and topological pass counts. Called after core.Place returns — never
-// from inside the algorithm — so accounting cannot perturb placement
-// results.
-func (c *TenantCounters) AddPlacement(evals, forward, suffix int64) {
+// AddPlacement attributes one completed placement's exact oracle
+// evaluations, sampled (approximate-engine) evaluations and topological
+// pass counts. Called after core.Place returns — never from inside the
+// algorithm — so accounting cannot perturb placement results. Sampled
+// evaluations are charged like oracle evaluations: they are the
+// approximate engine's unit of work.
+func (c *TenantCounters) AddPlacement(evals, sampled, forward, suffix int64) {
 	if c == nil {
 		return
 	}
 	c.placements.Add(1)
 	c.oracleEvals.Add(evals)
+	c.sampledEvals.Add(sampled)
 	c.forwardPasses.Add(forward)
 	c.suffixPasses.Add(suffix)
 }
@@ -197,6 +201,7 @@ func (c *TenantCounters) Usage() TenantUsage {
 		JobsCanceled:          c.jobsCanceled.Load(),
 		Placements:            c.placements.Load(),
 		OracleEvaluations:     c.oracleEvals.Load(),
+		SampledEvaluations:    c.sampledEvals.Load(),
 		ForwardPasses:         c.forwardPasses.Load(),
 		SuffixPasses:          c.suffixPasses.Load(),
 		CacheHits:             c.cacheHits.Load(),
@@ -222,6 +227,7 @@ type TenantUsage struct {
 	JobsCanceled          int64   `json:"jobs_canceled"`
 	Placements            int64   `json:"placements"`
 	OracleEvaluations     int64   `json:"oracle_evaluations"`
+	SampledEvaluations    int64   `json:"sampled_evaluations"`
 	ForwardPasses         int64   `json:"forward_passes"`
 	SuffixPasses          int64   `json:"suffix_passes"`
 	CacheHits             int64   `json:"cache_hits"`

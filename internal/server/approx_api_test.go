@@ -1,0 +1,161 @@
+package server_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestApproxPlacementEndToEnd drives the approximate engine through the
+// HTTP surface: an async "approx" job returns filters plus a sampled
+// confidence interval on Φ(A), its timeline records the sample/recheck
+// stages, the fpd_approx_* counters move, and the tenant is charged for
+// sampled evaluations alongside exact ones.
+func TestApproxPlacementEndToEnd(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadLayered(t, ts.URL, 17)
+
+	var ji server.JobInfo
+	code, _ := doJSONHeaders(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		map[string]string{"X-FP-Tenant": "approxco"},
+		server.PlaceSpec{Algorithm: "approx", K: 3, Quality: 0.1, Seed: 7}, &ji)
+	if code != http.StatusAccepted {
+		t.Fatalf("approx place: status %d, want 202", code)
+	}
+	done := waitJob(t, ts.URL, ji.ID)
+	if done.State != server.JobDone {
+		t.Fatalf("job state %s (%s)", done.State, done.Error)
+	}
+	res := done.Result
+	if res == nil {
+		t.Fatal("approx job carries no result")
+	}
+	if len(res.Filters) != 3 {
+		t.Errorf("filters = %v, want 3 placements", res.Filters)
+	}
+	if res.PhiCI == nil || res.PhiCI.Runs <= 0 {
+		t.Fatalf("PhiCI = %+v, want a populated confidence interval", res.PhiCI)
+	}
+	if res.Oracle == nil || res.Oracle.SampledEvaluations <= 0 {
+		t.Errorf("Oracle = %+v, want sampled evaluations > 0", res.Oracle)
+	}
+	if res.Oracle != nil && res.Oracle.GainEvaluations <= 0 {
+		t.Errorf("Oracle = %+v, want exact re-checks > 0", res.Oracle)
+	}
+	stages := stageNames(done)
+	for _, want := range []string{"queued", "run", "build-evaluator", "approx-sample", "approx-recheck"} {
+		if !stages[want] {
+			t.Errorf("timeline missing %q: %+v", want, done.Timeline)
+		}
+	}
+
+	// The daemon-level approx counters moved.
+	var snap server.MetricsSnapshot
+	if code := doJSON(t, "GET", ts.URL+"/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.ApproxPlacements < 1 || snap.ApproxSampledEvaluations < 1 || snap.ApproxExactRechecks < 1 {
+		t.Errorf("approx counters = (%d, %d, %d), want all ≥ 1",
+			snap.ApproxPlacements, snap.ApproxSampledEvaluations, snap.ApproxExactRechecks)
+	}
+
+	// Tenant accounting charges sampled evaluations like oracle work
+	// (charged as the worker finishes, marginally after the job record
+	// turns terminal; poll briefly).
+	var usage struct {
+		SampledEvaluations int64 `json:"sampled_evaluations"`
+		OracleEvaluations  int64 `json:"oracle_evaluations"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := doJSON(t, "GET", ts.URL+"/v1/tenants/approxco/usage", nil, &usage); code != http.StatusOK {
+			t.Fatalf("tenant usage: status %d", code)
+		}
+		if usage.SampledEvaluations >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if usage.SampledEvaluations < 1 || usage.OracleEvaluations < 1 {
+		t.Errorf("tenant usage = %+v, want sampled and oracle evaluations ≥ 1", usage)
+	}
+
+	// The per-tenant sampled-evaluations family appears in the scrape.
+	body := fetchText(t, ts.URL+"/metrics?format=prometheus")
+	if !strings.Contains(body, `fpd_tenant_sampled_evaluations_total{tenant="approxco"}`) {
+		t.Error("exposition missing fpd_tenant_sampled_evaluations_total for the tenant")
+	}
+	if !strings.Contains(body, "fpd_approx_placements_total ") {
+		t.Error("exposition missing fpd_approx_placements_total")
+	}
+
+	// An identical resubmit is answered inline from the placement cache,
+	// confidence interval intact.
+	var cached server.PlaceResult
+	code, _ = doJSONHeaders(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		map[string]string{"X-FP-Tenant": "approxco"},
+		server.PlaceSpec{Algorithm: "approx", K: 3, Quality: 0.1, Seed: 7}, &cached)
+	if code != http.StatusOK || !cached.Cached {
+		t.Errorf("identical approx resubmit not served from cache: status %d, %+v", code, cached)
+	}
+	if cached.PhiCI == nil {
+		t.Error("cached approx result lost its confidence interval")
+	}
+
+	// A different quality is a different result: it must NOT hit the
+	// cached slot.
+	var other server.JobInfo
+	code, _ = doJSONHeaders(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		map[string]string{"X-FP-Tenant": "approxco"},
+		server.PlaceSpec{Algorithm: "approx", K: 3, Quality: 0.25, Seed: 7}, &other)
+	if code != http.StatusAccepted {
+		t.Errorf("different quality reused the cache slot: status %d", code)
+	} else {
+		waitJob(t, ts.URL, other.ID)
+	}
+}
+
+// TestApproxPlacementValidation pins the quality knob's server-side
+// contract: out-of-range values are rejected for approx, and silently
+// irrelevant (zeroed, same cache slot) for exact algorithms.
+func TestApproxPlacementValidation(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	info := uploadDiamond(t, ts.URL)
+
+	for _, bad := range []server.PlaceSpec{
+		{Algorithm: "approx", K: 1, Quality: 0.9},
+		{Algorithm: "approx", K: 1, Quality: -0.1},
+		{Algorithm: "approx", K: 1, SampleBudget: -4},
+	} {
+		if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place", bad, nil); code != http.StatusBadRequest {
+			t.Errorf("spec %+v: status %d, want 400", bad, code)
+		}
+	}
+
+	// Quality on an exact algorithm is ignored, not an error — validate
+	// zeroes it, so a quality-decorated request lands in the same cache
+	// slot as the plain one.
+	var ji server.JobInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		server.PlaceSpec{Algorithm: "gall", K: 1}, &ji); code != http.StatusAccepted {
+		t.Fatalf("gall: status %d", code)
+	}
+	done := waitJob(t, ts.URL, ji.ID)
+	if done.State != server.JobDone {
+		t.Fatalf("gall job state %s (%s)", done.State, done.Error)
+	}
+	var second server.PlaceResult
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+info.ID+"/place",
+		server.PlaceSpec{Algorithm: "gall", K: 1, Quality: 0.3, SampleBudget: 9}, &second); code != http.StatusOK {
+		t.Fatalf("gall with quality: status %d, want 200 (cache hit)", code)
+	}
+	if !second.Cached {
+		t.Error("quality fragment: exact algorithm with quality set missed the cache")
+	}
+	if second.PhiCI != nil {
+		t.Error("exact placement grew a confidence interval")
+	}
+}

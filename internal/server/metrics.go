@@ -63,6 +63,15 @@ type Metrics struct {
 	// splice path.
 	PlanSplices  atomic.Int64
 	PlanRebuilds atomic.Int64
+	// ApproxPlacements counts placements served by the estimate-driven
+	// approx algorithm; ApproxSampledEvaluations its sampled gain
+	// estimates and ApproxExactRechecks the exact oracle evaluations it
+	// spent confirming heap tops. Rechecks/placements ≪ oracle
+	// evaluations/exact-placement is the signal that approximation is
+	// actually saving exact work.
+	ApproxPlacements         atomic.Int64
+	ApproxSampledEvaluations atomic.Int64
+	ApproxExactRechecks      atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -125,6 +134,11 @@ type MetricsSnapshot struct {
 	// into incremental splices vs from-scratch rebuilds.
 	PlanSplices  int64 `json:"plan_splices_total"`
 	PlanRebuilds int64 `json:"plan_rebuilds_total"`
+	// Approx* split the approximate engine's work: sampled estimates vs
+	// the exact re-checks that gate each commit.
+	ApproxPlacements         int64 `json:"approx_placements_total"`
+	ApproxSampledEvaluations int64 `json:"approx_sampled_evaluations_total"`
+	ApproxExactRechecks      int64 `json:"approx_exact_rechecks_total"`
 }
 
 // Snapshot copies every counter into the same-named MetricsSnapshot

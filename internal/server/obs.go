@@ -87,6 +87,8 @@ var tenantSeries = []struct {
 		func(u obs.TenantUsage) float64 { return float64(u.Placements) }},
 	{"fpd_tenant_oracle_evaluations_total", "Marginal-gain oracle evaluations spent for the tenant.", "counter",
 		func(u obs.TenantUsage) float64 { return float64(u.OracleEvaluations) }},
+	{"fpd_tenant_sampled_evaluations_total", "Sampled (approximate-engine) gain estimates spent for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.SampledEvaluations) }},
 	{"fpd_tenant_forward_passes_total", "Forward topological passes executed for the tenant.", "counter",
 		func(u obs.TenantUsage) float64 { return float64(u.ForwardPasses) }},
 	{"fpd_tenant_suffix_passes_total", "Suffix topological passes executed for the tenant.", "counter",

@@ -28,6 +28,13 @@ type PlaceSpec struct {
 	// MaxParallelism are clamped. Results are bit-for-bit independent of
 	// the setting, so it does not participate in the result-cache key.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Quality is the approximate engine's target relative error (approx
+	// algorithm only; 0 means the engine default). Zeroed for every other
+	// algorithm so it cannot fragment their cache slots.
+	Quality float64 `json:"quality,omitempty"`
+	// SampleBudget overrides the sampled pass count derived from Quality
+	// (approx only; 0 derives from Quality).
+	SampleBudget int `json:"sample_budget,omitempty"`
 }
 
 // PlaceResult is the placement outcome, returned inline for synchronous
@@ -54,6 +61,10 @@ type PlaceResult struct {
 	// (parallel CELF runs speculative evaluations), so it never enters
 	// cache keys or determinism comparisons.
 	Passes *core.PassStats `json:"passes,omitempty"`
+	// PhiCI is the approximate engine's sampled confidence interval on
+	// Φ(A) — the honesty report that accompanies an estimate-driven
+	// placement. Exact algorithms omit it.
+	PhiCI *flow.MCResult `json:"phi_ci,omitempty"`
 	// Maintain is set by the auto-maintain job kind: what the maintenance
 	// pass did to the previous placement.
 	Maintain *MaintainInfo `json:"maintain,omitempty"`
@@ -67,12 +78,14 @@ type algoSpec struct {
 	async      bool
 	randomized bool
 	kless      bool // ignores the budget (prop1 places at every merge node)
+	approx     bool // estimate-driven: quality/sample_budget apply, result carries phi_ci
 	strategy   core.Strategy
 }
 
 var algos = map[string]algoSpec{
 	"gall":   {async: true, strategy: core.StrategyGreedyAll},
 	"celf":   {async: true, strategy: core.StrategyCELF},
+	"approx": {async: true, approx: true, strategy: core.StrategyApproxCELF},
 	"gmax":   {strategy: core.StrategyGreedyMax},
 	"g1":     {strategy: core.StrategyGreedy1},
 	"gl":     {strategy: core.StrategyGreedyL},
@@ -123,8 +136,18 @@ func (sp *PlaceSpec) validate(m *flow.Model, maxParallelism int) (algoSpec, erro
 	default:
 		return algoSpec{}, fmt.Errorf("unknown engine %q (have float, big)", sp.Engine)
 	}
-	if !spec.randomized {
-		sp.Seed = 0
+	if !spec.randomized && !spec.approx {
+		sp.Seed = 0 // deterministic algorithms: one cache slot for all seeds
+	}
+	if spec.approx {
+		if sp.Quality < 0 || sp.Quality > 0.5 {
+			return algoSpec{}, fmt.Errorf("quality = %v outside [0, 0.5]", sp.Quality)
+		}
+		if sp.SampleBudget < 0 {
+			return algoSpec{}, fmt.Errorf("sample_budget = %d is negative", sp.SampleBudget)
+		}
+	} else {
+		sp.Quality, sp.SampleBudget = 0, 0 // irrelevant: don't fragment cache slots
 	}
 	if sp.Parallelism < 0 {
 		return algoSpec{}, fmt.Errorf("parallelism = %d is negative", sp.Parallelism)
@@ -155,7 +178,7 @@ func (sp *PlaceSpec) newEvaluator(m *flow.Model) flow.Evaluator {
 // requests differing only in parallelism dedup onto one job.
 func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed)
+	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|q%g|b%d|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed, sp.Quality, sp.SampleBudget)
 	for _, s := range sources {
 		fmt.Fprintf(&b, "%d,", s)
 	}
@@ -179,18 +202,26 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 		defer metrics.PlaceWorkersBusy.Add(-int64(max(sp.Parallelism, 1)))
 	}
 	pres, err := core.Place(ctx, ev, sp.K, core.Options{
-		Strategy:    spec.strategy,
-		Parallelism: sp.Parallelism,
-		Seed:        sp.Seed,
-		Trace:       tr,
-		Tenant:      tc.Name(),
-		Account:     tc,
+		Strategy:     spec.strategy,
+		Parallelism:  sp.Parallelism,
+		Seed:         sp.Seed,
+		Quality:      sp.Quality,
+		SampleBudget: sp.SampleBudget,
+		SampleSeed:   sp.Seed,
+		Trace:        tr,
+		Tenant:       tc.Name(),
+		Account:      tc,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if metrics != nil {
 		metrics.OracleEvaluations.Add(int64(pres.Stats.GainEvaluations))
+		if spec.approx {
+			metrics.ApproxPlacements.Add(1)
+			metrics.ApproxSampledEvaluations.Add(int64(pres.Stats.SampledEvaluations))
+			metrics.ApproxExactRechecks.Add(int64(pres.Stats.GainEvaluations))
+		}
 	}
 	filters := pres.Filters
 	if filters == nil {
@@ -219,6 +250,10 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 	if pres.Passes != (core.PassStats{}) {
 		ps := pres.Passes
 		res.Passes = &ps
+	}
+	if pres.PhiCI != nil {
+		ci := *pres.PhiCI
+		res.PhiCI = &ci
 	}
 	if g := m.Graph(); g.HasLabels() {
 		res.Labels = make([]string, len(filters))
