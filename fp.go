@@ -203,6 +203,13 @@ const (
 	// SampleBudget/SampleSeed) in PlaceOptions tunes it; the Result
 	// carries a sampled confidence interval on Φ(A).
 	StrategyApproxCELF = core.StrategyApproxCELF
+	// StrategyMLCELF is multilevel placement: coarsen the model into a
+	// quotient graph (PlaceOptions.Coarsen), run CELF — or, when Quality/
+	// SampleBudget ask for it, approx-celf — on the quotient, project the
+	// picks back, and locally refine within each supernode's fiber. With
+	// lossless coarsening the result is bit-for-bit CELF's; the Placement
+	// carries the contraction's CoarsenStats.
+	StrategyMLCELF = core.StrategyMLCELF
 )
 
 // PlaceStrategies lists every strategy Place accepts.
@@ -591,6 +598,43 @@ type SampleOptions = flow.SampleOptions
 
 // NewSampling builds a sampled estimator over the model.
 func NewSampling(m *Model, opts SampleOptions) *SamplingEngine { return flow.NewSampling(m, opts) }
+
+// CoarsenOptions configures Coarsen (and PlaceOptions.Coarsen for
+// StrategyMLCELF): lossless-only contraction, the bounded target ratio,
+// and the round cap.
+type CoarsenOptions = flow.CoarsenOptions
+
+// CoarsenStats reports what a contraction did — node/edge counts before
+// and after, per-rule fire counts, and whether every rule that fired was
+// Φ-exact (LosslessOnly).
+type CoarsenStats = flow.CoarsenStats
+
+// CoarsenMap is the reversible record of a contraction: which original
+// nodes each supernode stands for (Fiber), where each original node went
+// (Quotient), and how quotient-level filter picks project back
+// (ProjectFilters).
+type CoarsenMap = flow.CoarsenMap
+
+// Coarsen contracts an unweighted model into a quotient model by chain
+// folding, sink absorption and (unless opts.Lossless) modular-twin
+// merging. Per-supernode multiplicity weights make the quotient's Φ
+// equal (lossless rules) or a tight bound (twin merging) of the
+// original's, and the contraction is deterministic for a given model and
+// options. StrategyMLCELF runs this under the hood; call it directly to
+// inspect or reuse a quotient.
+func Coarsen(m *Model, opts CoarsenOptions) (*Model, *CoarsenMap, CoarsenStats, error) {
+	return flow.Coarsen(m, opts)
+}
+
+// ChainDAG generates a chain-heavy DAG: a small preferential-attachment
+// core with long single-in relay chains hanging off it — the regime
+// where lossless coarsening contracts hardest.
+func ChainDAG(n, chainLen int, seed int64) (*Graph, int) { return gen.ChainDAG(n, chainLen, seed) }
+
+// DeepDAG generates a deep layered DAG with heavy-tailed fan-in: mostly
+// single-in relays between sparse aggregation points, fed by a
+// super-source.
+func DeepDAG(n, levels int, seed int64) (*Graph, int) { return gen.DeepDAG(n, levels, seed) }
 
 // Betweenness returns Brandes betweenness centrality for every node. The
 // paper's §2 argues (and experiment abl-between confirms) that central

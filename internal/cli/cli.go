@@ -72,7 +72,7 @@ func RunFpgen(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fpgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dataset  = fs.String("dataset", "", "quote | twitter | citation | layered | dag | powerlaw | tree | fig1 | fig2 | fig3")
+		dataset  = fs.String("dataset", "", "quote | twitter | citation | layered | dag | powerlaw | tree | chain | deep | fig1 | fig2 | fig3")
 		out      = fs.String("out", "-", "output file ('-' for stdout)")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		scale    = fs.Float64("scale", 1, "twitter: level-size scale in (0,1]")
@@ -80,9 +80,11 @@ func RunFpgen(args []string, stdout, stderr io.Writer) error {
 		y        = fs.Float64("y", 4, "layered: edge-probability base")
 		levels   = fs.Int("levels", 10, "layered: number of levels")
 		perLevel = fs.Int("perlevel", 100, "layered: expected nodes per level")
-		n        = fs.Int("n", 1000, "dag/powerlaw/tree: node count")
+		n        = fs.Int("n", 1000, "dag/powerlaw/tree/chain/deep: node count")
 		p        = fs.Float64("p", 0.01, "dag: edge probability; tree: source-link probability")
 		epn      = fs.Int("epn", 3, "powerlaw: average edges per node")
+		chainLen = fs.Int("chainlen", 8, "chain: mean relay-chain length")
+		depth    = fs.Int("depth", 50, "deep: level count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +112,10 @@ func RunFpgen(args []string, stdout, stderr io.Writer) error {
 		single(gen.PowerLawDAG(*n, *epn, *seed))
 	case "tree":
 		single(gen.RandomCTree(*n, *p, *seed))
+	case "chain":
+		single(gen.ChainDAG(*n, *chainLen, *seed))
+	case "deep":
+		single(gen.DeepDAG(*n, *depth, *seed))
 	case "fig1":
 		single(gen.Figure1())
 	case "fig2":
@@ -146,7 +152,7 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	var (
 		in        = fs.String("in", "", "edge-list input file ('-' for stdin); additional files may be passed as positional arguments for batched placement")
 		k         = fs.Int("k", 10, "filter budget")
-		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | approx | naive | randk | randi | randw | prop1 | tree")
+		algo      = fs.String("algo", "gall", "gall | gmax | g1 | gl | glfast | celf | approx | ml-celf | naive | randk | randi | randw | prop1 | tree")
 		engine    = fs.String("engine", "float", "float | big (exact)")
 		source    = fs.Int("source", -1, "source node id (-1: all in-degree-0 nodes, or best root with -acyclic)")
 		acyclicF  = fs.Bool("acyclic", false, "extract a maximal acyclic subgraph first (paper §4.3)")
@@ -157,6 +163,8 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 		impacts   = fs.Bool("impacts", false, "print the per-node impact table instead of placing filters")
 		weighted  = fs.Bool("weighted", false, "input is 'u v p' with relay probabilities (probabilistic model; float engine only)")
 		quality   = fs.Float64("quality", 0, "approx algorithm: target relative estimate error in (0, 0.5] (0 = engine default)")
+		coarsenR  = fs.Float64("coarsen-ratio", 0, "ml-celf: bounded-mode target node ratio in [0, 1] (0 = contract to fixpoint)")
+		coarsenL  = fs.Bool("coarsen-lossless", false, "ml-celf: restrict coarsening to the bit-exactness-preserving rules")
 		dotOut    = fs.String("dot", "", "also write a Graphviz DOT file with the placement highlighted")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -265,19 +273,28 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 
 	var filters []int
 	var phiCI *flow.MCResult
+	var coarsenStats *flow.CoarsenStats
 	if strat, ok := cliStrategies[*algo]; ok {
-		res, err := core.Place(context.Background(), ev, *k, core.Options{
+		opts := core.Options{
 			Strategy:    strat,
 			Parallelism: *procs,
 			Seed:        *seed,
 			Quality:     *quality,
 			SampleSeed:  *seed,
-		})
+			Coarsen:     flow.CoarsenOptions{TargetRatio: *coarsenR, Lossless: *coarsenL},
+		}
+		// The same Validate the HTTP layer runs, so a bad knob reads
+		// identically from either surface.
+		if err := opts.Validate(); err != nil {
+			return fmt.Errorf("fpplace: %w", err)
+		}
+		res, err := core.Place(context.Background(), ev, *k, opts)
 		if err != nil {
 			return fmt.Errorf("fpplace: %w", err)
 		}
 		filters = res.Filters
 		phiCI = res.PhiCI
+		coarsenStats = res.CoarsenStats
 	} else if *algo == "tree" {
 		if len(m.Sources()) != 1 {
 			return fmt.Errorf("fpplace: tree DP needs exactly one source, have %d", len(m.Sources()))
@@ -326,6 +343,16 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	if phiCI != nil {
 		fmt.Fprintf(stdout, "Φ̂(A) CI95:  %.6g ± %.3g (%d sampled passes)\n", phiCI.Mean, phiCI.CI95(), phiCI.Runs)
 	}
+	if coarsenStats != nil {
+		mode := "bounded"
+		if coarsenStats.LosslessOnly {
+			mode = "lossless"
+		}
+		fmt.Fprintf(stdout, "coarsen:    %d → %d nodes, %d → %d edges (%d rounds, %s)\n",
+			coarsenStats.NodesBefore, coarsenStats.NodesAfter,
+			coarsenStats.EdgesBefore, coarsenStats.EdgesAfter,
+			coarsenStats.Rounds, mode)
+	}
 	return nil
 }
 
@@ -333,18 +360,19 @@ func RunFpplace(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 // "tree" stays separate (the exact DP has a different signature and
 // tree-only semantics).
 var cliStrategies = map[string]core.Strategy{
-	"gall":   core.StrategyGreedyAll,
-	"celf":   core.StrategyCELF,
-	"approx": core.StrategyApproxCELF,
-	"naive":  core.StrategyNaive,
-	"gmax":   core.StrategyGreedyMax,
-	"g1":     core.StrategyGreedy1,
-	"gl":     core.StrategyGreedyL,
-	"glfast": core.StrategyGreedyLFast,
-	"randk":  core.StrategyRandK,
-	"randi":  core.StrategyRandI,
-	"randw":  core.StrategyRandW,
-	"prop1":  core.StrategyProp1,
+	"gall":    core.StrategyGreedyAll,
+	"celf":    core.StrategyCELF,
+	"approx":  core.StrategyApproxCELF,
+	"ml-celf": core.StrategyMLCELF,
+	"naive":   core.StrategyNaive,
+	"gmax":    core.StrategyGreedyMax,
+	"g1":      core.StrategyGreedy1,
+	"gl":      core.StrategyGreedyL,
+	"glfast":  core.StrategyGreedyLFast,
+	"randk":   core.StrategyRandK,
+	"randi":   core.StrategyRandI,
+	"randw":   core.StrategyRandW,
+	"prop1":   core.StrategyProp1,
 }
 
 // runFpplaceBatch places the same spec on every input file as one gang

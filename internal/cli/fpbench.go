@@ -19,12 +19,15 @@ import (
 // RunFpbench is the fpbench command: measure the approximate placement
 // engine against exact CELF across graph sizes and emit the comparison
 // as a BENCH_approx.json-shaped artifact, host-stamped so the
-// measurement context is machine-checkable.
+// measurement context is machine-checkable. -suite coarsen instead
+// measures multilevel placement (coarsen + quotient CELF + refine)
+// against approx-celf and writes BENCH_coarsen.json.
 func RunFpbench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out     = fs.String("out", "BENCH_approx.json", "output artifact path ('-' for stdout)")
+		suite   = fs.String("suite", "approx", "benchmark suite: approx (exact vs approx-celf) or coarsen (ml-celf vs approx-celf)")
+		out     = fs.String("out", "", "output artifact path (default BENCH_<suite>.json; '-' for stdout)")
 		k       = fs.Int("k", 20, "filter budget per placement")
 		quality = fs.Float64("quality", 0, "approx target relative error (0 = engine default)")
 		procs   = fs.Int("procs", 1, "parallel marginal-gain workers (results identical at any setting)")
@@ -33,6 +36,19 @@ func RunFpbench(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *suite {
+	case "approx":
+		if *out == "" {
+			*out = "BENCH_approx.json"
+		}
+	case "coarsen":
+		if *out == "" {
+			*out = "BENCH_coarsen.json"
+		}
+		return runFpbenchCoarsen(*out, *k, *quality, *procs, *quick, *huge, stdout, stderr)
+	default:
+		return fmt.Errorf("fpbench: unknown suite %q (have approx, coarsen)", *suite)
 	}
 
 	type caseSpec struct {

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// chainTestModel builds a chain-heavy DAG: a small random core with long
+// single-in relay chains hanging off it — the structure ml-celf's lossless
+// rules contract hardest.
+func chainTestModel(t testing.TB, n int, seed int64) *flow.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	core := n / 5
+	if core < 4 {
+		core = 4
+	}
+	b := graph.NewBuilder(n)
+	for v := 1; v < core; v++ {
+		d := 1 + rng.Intn(3)
+		for j := 0; j < d; j++ {
+			b.AddEdge(rng.Intn(v), v)
+		}
+	}
+	v := core
+	for v < n {
+		length := 2 + rng.Intn(6)
+		if v+length > n {
+			length = n - v
+		}
+		origin := rng.Intn(core)
+		at := origin
+		for j := 0; j < length; j++ {
+			b.AddEdge(at, v)
+			at = v
+			v++
+		}
+		if rng.Intn(2) == 0 && origin+1 < core {
+			b.AddEdge(at, origin+1+rng.Intn(core-origin-1))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := flow.NewModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMLCELFLosslessEqualsCELF is the tentpole property: with lossless
+// coarsening, ml-celf returns EXACTLY celf's filter set — same ids, same
+// pick order, same F(A) — on both arithmetic engines.
+func TestMLCELFLosslessEqualsCELF(t *testing.T) {
+	ctx := context.Background()
+	models := map[string]*flow.Model{
+		"chain-heavy-300": chainTestModel(t, 300, 1),
+		"chain-heavy-500": chainTestModel(t, 500, 2),
+		"random-sparse":   placeTestModel(t, 150, 0.03, 3),
+	}
+	for name, m := range models {
+		engines := map[string]func() flow.Evaluator{
+			"float": func() flow.Evaluator { return flow.NewFloat(m) },
+			"big":   func() flow.Evaluator { return flow.NewBig(m) },
+		}
+		for engName, mk := range engines {
+			ref, err := Place(ctx, mk(), 8, Options{Strategy: StrategyCELF})
+			if err != nil {
+				t.Fatalf("%s/%s celf: %v", name, engName, err)
+			}
+			ml, err := Place(ctx, mk(), 8, Options{
+				Strategy: StrategyMLCELF,
+				Coarsen:  flow.CoarsenOptions{Lossless: true},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s ml-celf: %v", name, engName, err)
+			}
+			if ml.CoarsenStats == nil || !ml.CoarsenStats.LosslessOnly {
+				t.Fatalf("%s/%s: lossless run reported stats %+v", name, engName, ml.CoarsenStats)
+			}
+			if !reflect.DeepEqual(ml.Filters, ref.Filters) {
+				t.Fatalf("%s/%s: ml-celf picked %v, celf picked %v (coarsen %+v)",
+					name, engName, ml.Filters, ref.Filters, *ml.CoarsenStats)
+			}
+			ev := mk()
+			mask := flow.MaskOf(m.N(), ml.Filters)
+			if got, want := ev.F(mask), ev.F(flow.MaskOf(m.N(), ref.Filters)); got != want {
+				t.Fatalf("%s/%s: F mismatch %v vs %v", name, engName, got, want)
+			}
+			// The quotient solve must touch fewer candidates than celf's
+			// V-sized init on graphs that actually contract.
+			if ml.CoarsenStats.NodesAfter < ml.CoarsenStats.NodesBefore/2 &&
+				ml.Stats.GainEvaluations >= ref.Stats.GainEvaluations {
+				t.Fatalf("%s/%s: ml-celf spent %d gain evals, celf %d, despite %d→%d contraction",
+					name, engName, ml.Stats.GainEvaluations, ref.Stats.GainEvaluations,
+					ml.CoarsenStats.NodesBefore, ml.CoarsenStats.NodesAfter)
+			}
+		}
+	}
+}
+
+// TestMLCELFBoundedQuality checks bounded mode (twin merging allowed):
+// the refined placement's objective stays within 2% of exact CELF's.
+func TestMLCELFBoundedQuality(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 4; seed++ {
+		m := placeTestModel(t, 200, 0.04, seed)
+		ev := flow.NewFloat(m)
+		ref, err := Place(ctx, ev, 10, Options{Strategy: StrategyCELF})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := Place(ctx, flow.NewFloat(m), 10, Options{Strategy: StrategyMLCELF})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refF := ev.F(flow.MaskOf(m.N(), ref.Filters))
+		mlF := ev.F(flow.MaskOf(m.N(), ml.Filters))
+		if mlF < 0.98*refF {
+			t.Fatalf("seed %d: bounded ml-celf F=%v vs celf F=%v (%.2f%% loss, coarsen %+v)",
+				seed, mlF, refF, 100*(1-mlF/refF), *ml.CoarsenStats)
+		}
+	}
+}
+
+// TestMLCELFApproxQuotient: Quality>0 routes the quotient solve through
+// approx-celf; a lossless run propagates the sampled CI (it estimates the
+// original Φ), a bounded run must drop it.
+func TestMLCELFApproxQuotient(t *testing.T) {
+	ctx := context.Background()
+	m := chainTestModel(t, 400, 5)
+	res, err := Place(ctx, flow.NewFloat(m), 6, Options{
+		Strategy: StrategyMLCELF,
+		Quality:  0.1,
+		Coarsen:  flow.CoarsenOptions{Lossless: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Filters) != 6 {
+		t.Fatalf("placed %d filters, want 6", len(res.Filters))
+	}
+	if res.Stats.SampledEvaluations == 0 {
+		t.Fatal("approx quotient solve did no sampled evaluations")
+	}
+	if res.PhiCI == nil {
+		t.Fatal("lossless approx run dropped the Φ confidence interval")
+	}
+	bounded, err := Place(ctx, flow.NewFloat(m), 6, Options{Strategy: StrategyMLCELF, Quality: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded.CoarsenStats.LosslessOnly && bounded.PhiCI != nil {
+		t.Fatal("bounded approx run kept a CI that estimates the wrong objective")
+	}
+}
+
+// TestMLCELFParallelDeterminism: filters and OracleStats are bit-identical
+// at every Parallelism setting, including the refine stage.
+func TestMLCELFParallelDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 2; seed++ {
+		m := chainTestModel(t, 400, seed)
+		for _, lossless := range []bool{true, false} {
+			opts := Options{Strategy: StrategyMLCELF, Coarsen: flow.CoarsenOptions{Lossless: lossless}}
+			serial, err := Place(ctx, flow.NewFloat(m), 10, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, procs := range []int{4, runtime.GOMAXPROCS(0)} {
+				popts := opts
+				popts.Parallelism = procs
+				par, err := Place(ctx, flow.NewFloat(m), 10, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par.Filters, serial.Filters) {
+					t.Fatalf("seed %d lossless=%v procs=%d: filters %v != serial %v",
+						seed, lossless, procs, par.Filters, serial.Filters)
+				}
+				if par.Stats != serial.Stats {
+					t.Fatalf("seed %d lossless=%v procs=%d: stats %+v != serial %+v",
+						seed, lossless, procs, par.Stats, serial.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestOptionsValidate pins the centralized validation contract shared by
+// core.Place, the HTTP layer and the CLI.
+func TestOptionsValidate(t *testing.T) {
+	good := []Options{
+		{},
+		{Strategy: StrategyMLCELF, Coarsen: flow.CoarsenOptions{TargetRatio: 0.5}},
+		{Quality: 0.5, SampleBudget: 3},
+		{Parallelism: 8},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("good[%d] rejected: %v", i, err)
+		}
+	}
+	bad := []Options{
+		{Strategy: "no-such-strategy"},
+		{Parallelism: -1},
+		{Quality: -0.1},
+		{Quality: 0.6},
+		{SampleBudget: -1},
+		{Coarsen: flow.CoarsenOptions{TargetRatio: 1.5}},
+		{Coarsen: flow.CoarsenOptions{TargetRatio: -0.1}},
+		{Coarsen: flow.CoarsenOptions{MaxRounds: -1}},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad[%d] accepted: %+v", i, o)
+		}
+		// Place must surface the identical error.
+		m := placeTestModel(t, 10, 0.2, 1)
+		if _, err := Place(context.Background(), flow.NewFloat(m), 2, o); err == nil {
+			t.Fatalf("Place accepted bad[%d]: %+v", i, o)
+		}
+	}
+}

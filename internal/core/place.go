@@ -34,6 +34,14 @@ const (
 	// the target relative error; Result.PhiCI reports the sampled
 	// confidence interval on Φ(A).
 	StrategyApproxCELF Strategy = "approx-celf"
+	// StrategyMLCELF is multilevel CELF: coarsen the graph losslessly (or,
+	// with Options.Coarsen.Lossless false, further via bounded twin
+	// merging), run CELF — exact, or approx-celf when Quality/SampleBudget
+	// ask for sampling — on the quotient, project the picks back to their
+	// supernode heads and locally refine each pick within its fiber by
+	// exact gains. When only lossless rules fired the result is bit-for-bit
+	// StrategyCELF's. Result.CoarsenStats reports the contraction.
+	StrategyMLCELF Strategy = "ml-celf"
 	// StrategyGreedyMax is the paper's Greedy_Max (impacts once, top k).
 	StrategyGreedyMax Strategy = "greedy-max"
 	// StrategyGreedy1 is the paper's Greedy_1 (rank by din·dout).
@@ -57,6 +65,7 @@ const (
 func Strategies() []Strategy {
 	return []Strategy{
 		StrategyGreedyAll, StrategyCELF, StrategyNaive, StrategyApproxCELF,
+		StrategyMLCELF,
 		StrategyGreedyMax, StrategyGreedy1, StrategyGreedyL, StrategyGreedyLFast,
 		StrategyRandK, StrategyRandI, StrategyRandW, StrategyProp1,
 	}
@@ -112,6 +121,48 @@ type Options struct {
 	// Independent of Seed (which feeds the randomized baselines) so the
 	// two knobs cannot alias.
 	SampleSeed int64
+	// Coarsen configures ml-celf's graph contraction (ignored by every
+	// other strategy): TargetRatio bounds how far bounded rounds shrink
+	// the graph and Lossless restricts contraction to the exactness-
+	// preserving rules. The zero value coarsens to fixpoint with twin
+	// merging allowed.
+	Coarsen flow.CoarsenOptions
+}
+
+// Validate checks every option field against its documented domain. It is
+// the single validation authority for placement options: core.Place runs
+// it before dispatching, and the fpd HTTP layer and the CLI call it on the
+// options they are about to submit, so a bad knob produces the same error
+// no matter which surface it arrived through.
+func (o Options) Validate() error {
+	if o.Strategy != "" {
+		known := false
+		for _, s := range Strategies() {
+			if s == o.Strategy {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("core: unknown strategy %q (have %v)", o.Strategy, Strategies())
+		}
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism = %d is negative", o.Parallelism)
+	}
+	if o.Quality < 0 || o.Quality > 0.5 {
+		return fmt.Errorf("core: quality = %v outside [0, 0.5]", o.Quality)
+	}
+	if o.SampleBudget < 0 {
+		return fmt.Errorf("core: sample_budget = %d is negative", o.SampleBudget)
+	}
+	if r := o.Coarsen.TargetRatio; r < 0 || r > 1 {
+		return fmt.Errorf("core: coarsen target ratio %v outside [0, 1]", r)
+	}
+	if o.Coarsen.MaxRounds < 0 {
+		return fmt.Errorf("core: coarsen max rounds = %d is negative", o.Coarsen.MaxRounds)
+	}
+	return nil
 }
 
 // Result is a placement outcome.
@@ -136,8 +187,13 @@ type Result struct {
 	// when their results are discarded by the serial-replay commit.
 	Passes PassStats
 	// PhiCI, set by approx-celf only, is the sampling engine's confidence
-	// interval on Φ(A) for the returned filter set.
+	// interval on Φ(A) for the returned filter set. ml-celf propagates it
+	// only from lossless runs, where the quotient objective it estimates
+	// IS the original Φ.
 	PhiCI *flow.MCResult
+	// CoarsenStats, set by ml-celf only, reports what the contraction did.
+	// LosslessOnly means the placement is bit-for-bit StrategyCELF's.
+	CoarsenStats *flow.CoarsenStats
 }
 
 // PassStats counts forward (Φ/receive) and suffix (amplification)
@@ -160,6 +216,9 @@ type PassStats struct {
 func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result, error) {
 	if opts.Strategy == "" {
 		opts.Strategy = StrategyGreedyAll
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
 	}
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
@@ -185,6 +244,8 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		err = placeNaive(ctx, ev, k, opts, &res)
 	case StrategyApproxCELF:
 		err = placeApproxCELF(ctx, ev, k, opts, &res)
+	case StrategyMLCELF:
+		err = placeMultilevel(ctx, ev, k, opts, &res)
 	case StrategyGreedyMax:
 		n := ev.Model().N()
 		res.Filters = topK(impactsOf(ev, nil, opts.Parallelism, &res), k)
@@ -207,8 +268,11 @@ func Place(ctx context.Context, ev flow.Evaluator, k int, opts Options) (Result,
 		return Result{}, fmt.Errorf("core: unknown strategy %q (have %v)", opts.Strategy, Strategies())
 	}
 	if hasPasses {
+		// Accumulate rather than assign: ml-celf has already charged its
+		// quotient engine's passes to res.Passes.
 		f, s := passCounter.Passes()
-		res.Passes = PassStats{Forward: f - passF0, Suffix: s - passS0}
+		res.Passes.Forward += f - passF0
+		res.Passes.Suffix += s - passS0
 	}
 	opts.Account.AddPlacement(int64(res.Stats.GainEvaluations), int64(res.Stats.SampledEvaluations), res.Passes.Forward, res.Passes.Suffix)
 	if err != nil {

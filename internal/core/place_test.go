@@ -42,7 +42,7 @@ func placeTestModel(t testing.TB, n int, p float64, seed int64) *flow.Model {
 // strategy, on both engines.
 func TestPlaceParallelDeterminism(t *testing.T) {
 	strategies := []Strategy{
-		StrategyGreedyAll, StrategyCELF, StrategyNaive,
+		StrategyGreedyAll, StrategyCELF, StrategyNaive, StrategyMLCELF,
 		StrategyGreedyMax, StrategyGreedy1, StrategyGreedyL, StrategyGreedyLFast,
 		StrategyRandK, StrategyRandI, StrategyRandW, StrategyProp1,
 	}

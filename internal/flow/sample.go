@@ -54,8 +54,8 @@ import (
 // discipline: Clone for concurrent callers, ReleaseScratch to hand the
 // borrowed arena back.
 type SamplingEngine struct {
-	m    *Model
-	p    *Plan
+	m *Model
+	p *Plan
 	// src is the plan-order source mask; immutable, shared by clones.
 	src  []bool
 	opts SampleOptions
@@ -311,11 +311,18 @@ func (e *SamplingEngine) sampledForwardRange(passSeed uint64, fmask []bool, rec,
 func (e *SamplingEngine) sampledSuffixRange(passSeed uint64, fmask []bool, suf []float64, lo, hi int) {
 	p := e.p
 	outOff, outAdj, outW := p.outOff, p.outAdj, p.outW
+	mw := p.mulW
 	seed := passSeed ^ suffixSalt
 	for i := hi - 1; i >= lo; i-- {
 		rowLo, rowHi := int(outOff[i]), int(outOff[i+1])
 		d := rowHi - rowLo
 		var s float64
+		if mw != nil {
+			// Coarse plan: seed with the supernode's own multiplicity,
+			// exactly like the exact suffix kernel. Never sampled — it is
+			// a node term, not an edge term.
+			s = mw[i]
+		}
 		if m := e.rowSampleSize(d); m >= d {
 			if outW == nil {
 				for _, c := range outAdj[rowLo:rowHi] {
@@ -357,7 +364,7 @@ func (e *SamplingEngine) sampledSuffixRange(passSeed uint64, fmask []bool, suf [
 					sum += outW[j] * tv
 				}
 			}
-			s = sum * stride
+			s += sum * stride
 		}
 		suf[i] = s
 	}
@@ -388,7 +395,7 @@ func (e *SamplingEngine) estimate(filters []bool, withSuffix bool) *sampleAcc {
 			})
 		}
 		e.pc.fwd.Add(1)
-		acc.phi = append(acc.phi, e.p.sumOriginal(sc.rec))
+		acc.phi = append(acc.phi, e.p.sumPhi(sc.rec, sc.emit))
 		for i, r := range sc.rec {
 			acc.rec[i] += r
 		}

@@ -70,6 +70,9 @@ type TenantCounters struct {
 	planSplices    atomic.Int64
 	planRebuilds   atomic.Int64
 	planRepairWork atomic.Int64
+
+	coarsenPlacements      atomic.Int64
+	coarsenNodesContracted atomic.Int64
 }
 
 // Name returns the tenant identifier the counters accumulate under
@@ -187,32 +190,47 @@ func (c *TenantCounters) AddPlanRepair(spliced bool, work int64) {
 	}
 }
 
+// AddCoarsen attributes one multilevel placement's graph contraction:
+// nodesContracted is how many nodes the coarsening removed before the
+// quotient solve. Charged post-placement, like AddPlacement.
+func (c *TenantCounters) AddCoarsen(nodesContracted int64) {
+	if c == nil {
+		return
+	}
+	c.coarsenPlacements.Add(1)
+	if nodesContracted > 0 {
+		c.coarsenNodesContracted.Add(nodesContracted)
+	}
+}
+
 // Usage snapshots the counters.
 func (c *TenantCounters) Usage() TenantUsage {
 	if c == nil {
 		return TenantUsage{}
 	}
 	return TenantUsage{
-		Tenant:                c.name,
-		Requests:              c.requests.Load(),
-		JobsSubmitted:         c.jobsSubmitted.Load(),
-		JobsCompleted:         c.jobsCompleted.Load(),
-		JobsFailed:            c.jobsFailed.Load(),
-		JobsCanceled:          c.jobsCanceled.Load(),
-		Placements:            c.placements.Load(),
-		OracleEvaluations:     c.oracleEvals.Load(),
-		SampledEvaluations:    c.sampledEvals.Load(),
-		ForwardPasses:         c.forwardPasses.Load(),
-		SuffixPasses:          c.suffixPasses.Load(),
-		CacheHits:             c.cacheHits.Load(),
-		CacheMisses:           c.cacheMisses.Load(),
-		JobQueueWaitSeconds:   time.Duration(c.queueWaitNS.Load()).Seconds(),
-		JobRunSeconds:         time.Duration(c.runNS.Load()).Seconds(),
-		SchedQueueWaitSeconds: time.Duration(c.schedWaitNS.Load()).Seconds(),
-		SchedTasks:            c.schedTasks.Load(),
-		PlanSplices:           c.planSplices.Load(),
-		PlanRebuilds:          c.planRebuilds.Load(),
-		PlanRepairWork:        c.planRepairWork.Load(),
+		Tenant:                 c.name,
+		Requests:               c.requests.Load(),
+		JobsSubmitted:          c.jobsSubmitted.Load(),
+		JobsCompleted:          c.jobsCompleted.Load(),
+		JobsFailed:             c.jobsFailed.Load(),
+		JobsCanceled:           c.jobsCanceled.Load(),
+		Placements:             c.placements.Load(),
+		OracleEvaluations:      c.oracleEvals.Load(),
+		SampledEvaluations:     c.sampledEvals.Load(),
+		ForwardPasses:          c.forwardPasses.Load(),
+		SuffixPasses:           c.suffixPasses.Load(),
+		CacheHits:              c.cacheHits.Load(),
+		CacheMisses:            c.cacheMisses.Load(),
+		JobQueueWaitSeconds:    time.Duration(c.queueWaitNS.Load()).Seconds(),
+		JobRunSeconds:          time.Duration(c.runNS.Load()).Seconds(),
+		SchedQueueWaitSeconds:  time.Duration(c.schedWaitNS.Load()).Seconds(),
+		SchedTasks:             c.schedTasks.Load(),
+		PlanSplices:            c.planSplices.Load(),
+		PlanRebuilds:           c.planRebuilds.Load(),
+		PlanRepairWork:         c.planRepairWork.Load(),
+		CoarsenPlacements:      c.coarsenPlacements.Load(),
+		CoarsenNodesContracted: c.coarsenNodesContracted.Load(),
 	}
 }
 
@@ -241,6 +259,11 @@ type TenantUsage struct {
 	PlanSplices    int64 `json:"plan_splices"`
 	PlanRebuilds   int64 `json:"plan_rebuilds"`
 	PlanRepairWork int64 `json:"plan_repair_work"`
+	// CoarsenPlacements counts the tenant's multilevel (mlcelf)
+	// placements; CoarsenNodesContracted the nodes their coarsening
+	// removed before the quotient solve.
+	CoarsenPlacements      int64 `json:"coarsen_placements"`
+	CoarsenNodesContracted int64 `json:"coarsen_nodes_contracted"`
 }
 
 // Accountant aggregates per-tenant resource usage. Lookup is a

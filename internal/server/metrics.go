@@ -35,9 +35,9 @@ type Metrics struct {
 	// FlightsJoined counts placements that joined an identical in-flight
 	// computation (cross-kind dedup) instead of executing their own.
 	FlightsJoined atomic.Int64
-	MaintainJobs   atomic.Int64
-	CacheHits      atomic.Int64
-	CacheMisses    atomic.Int64
+	MaintainJobs  atomic.Int64
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
 	// CacheInvalidations counts placements dropped by graph mutations.
 	CacheInvalidations atomic.Int64
 	// PlaceWorkersBusy is a gauge of goroutines currently reserved by
@@ -72,6 +72,15 @@ type Metrics struct {
 	ApproxPlacements         atomic.Int64
 	ApproxSampledEvaluations atomic.Int64
 	ApproxExactRechecks      atomic.Int64
+	// Coarsen* describe the multilevel (mlcelf) path: placements that ran
+	// through graph coarsening, how many nodes the contractions removed,
+	// how many contraction rounds they spent, and how many runs stayed on
+	// the lossless (bit-exact) rules only. NodesContracted/Placements is
+	// the operator's view of how compressible the workload's graphs are.
+	CoarsenPlacements      atomic.Int64
+	CoarsenNodesContracted atomic.Int64
+	CoarsenRounds          atomic.Int64
+	CoarsenLossless        atomic.Int64
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics. JobQueueDepth
@@ -139,6 +148,12 @@ type MetricsSnapshot struct {
 	ApproxPlacements         int64 `json:"approx_placements_total"`
 	ApproxSampledEvaluations int64 `json:"approx_sampled_evaluations_total"`
 	ApproxExactRechecks      int64 `json:"approx_exact_rechecks_total"`
+	// Coarsen* describe multilevel placements: runs, nodes contracted
+	// away, contraction rounds, and runs that stayed lossless-only.
+	CoarsenPlacements      int64 `json:"coarsen_placements_total"`
+	CoarsenNodesContracted int64 `json:"coarsen_nodes_contracted_total"`
+	CoarsenRounds          int64 `json:"coarsen_rounds_total"`
+	CoarsenLossless        int64 `json:"coarsen_lossless_total"`
 }
 
 // Snapshot copies every counter into the same-named MetricsSnapshot

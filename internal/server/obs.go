@@ -26,8 +26,8 @@ type serverObs struct {
 	// via sched.Pool.SetQueueWaitSampler.
 	schedWait *obs.Histogram
 	// placeStage is per-stage placement time (greedy-round, celf-init,
-	// celf-recheck, naive-round, build-evaluator, maintain), fed by each
-	// job trace's sink.
+	// celf-recheck, naive-round, build-evaluator, coarsen, refine,
+	// maintain), fed by each job trace's sink.
 	placeStage *obs.HistogramVec
 }
 
@@ -111,6 +111,10 @@ var tenantSeries = []struct {
 		func(u obs.TenantUsage) float64 { return float64(u.PlanRebuilds) }},
 	{"fpd_tenant_plan_repair_work_total", "Abstract plan-repair cost (visits + moves + CSR rows) charged to the tenant.", "counter",
 		func(u obs.TenantUsage) float64 { return float64(u.PlanRepairWork) }},
+	{"fpd_tenant_coarsen_placements_total", "Multilevel (coarsened) placements executed for the tenant.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.CoarsenPlacements) }},
+	{"fpd_tenant_coarsen_nodes_contracted_total", "Nodes removed by graph coarsening in the tenant's multilevel placements.", "counter",
+		func(u obs.TenantUsage) float64 { return float64(u.CoarsenNodesContracted) }},
 }
 
 // registerTenantSeries exposes the accountant as labeled Prometheus

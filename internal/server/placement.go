@@ -35,6 +35,24 @@ type PlaceSpec struct {
 	// SampleBudget overrides the sampled pass count derived from Quality
 	// (approx only; 0 derives from Quality).
 	SampleBudget int `json:"sample_budget,omitempty"`
+	// Coarsen selects the mlcelf contraction mode: "lossless" restricts
+	// coarsening to the bit-exactness-preserving rules, "bounded" (the
+	// default) also merges modular twins and locally refines the projected
+	// picks. Zeroed for every other algorithm.
+	Coarsen string `json:"coarsen,omitempty"`
+	// CoarsenRatio is mlcelf's bounded-mode target node ratio in [0, 1]:
+	// twin-merge rounds stop once quotient/original nodes falls below it
+	// (0 contracts to fixpoint). Lossless rules always run to fixpoint
+	// regardless.
+	CoarsenRatio float64 `json:"coarsen_ratio,omitempty"`
+}
+
+// coarsenOptions maps the spec's validated coarsen fields to core options.
+func (sp *PlaceSpec) coarsenOptions() flow.CoarsenOptions {
+	return flow.CoarsenOptions{
+		TargetRatio: sp.CoarsenRatio,
+		Lossless:    sp.Coarsen == "lossless",
+	}
 }
 
 // PlaceResult is the placement outcome, returned inline for synchronous
@@ -68,6 +86,9 @@ type PlaceResult struct {
 	// Maintain is set by the auto-maintain job kind: what the maintenance
 	// pass did to the previous placement.
 	Maintain *MaintainInfo `json:"maintain,omitempty"`
+	// Coarsen, set by mlcelf only, reports what the graph contraction did.
+	// lossless_only true means the result is bit-for-bit celf's.
+	Coarsen *flow.CoarsenStats `json:"coarsen,omitempty"`
 }
 
 // algoSpec describes one placement algorithm: which core.Place strategy
@@ -79,6 +100,7 @@ type algoSpec struct {
 	randomized bool
 	kless      bool // ignores the budget (prop1 places at every merge node)
 	approx     bool // estimate-driven: quality/sample_budget apply, result carries phi_ci
+	coarsen    bool // multilevel: coarsen/coarsen_ratio apply, result carries coarsen stats
 	strategy   core.Strategy
 }
 
@@ -86,6 +108,7 @@ var algos = map[string]algoSpec{
 	"gall":   {async: true, strategy: core.StrategyGreedyAll},
 	"celf":   {async: true, strategy: core.StrategyCELF},
 	"approx": {async: true, approx: true, strategy: core.StrategyApproxCELF},
+	"mlcelf": {async: true, approx: true, coarsen: true, strategy: core.StrategyMLCELF},
 	"gmax":   {strategy: core.StrategyGreedyMax},
 	"g1":     {strategy: core.StrategyGreedy1},
 	"gl":     {strategy: core.StrategyGreedyL},
@@ -139,18 +162,30 @@ func (sp *PlaceSpec) validate(m *flow.Model, maxParallelism int) (algoSpec, erro
 	if !spec.randomized && !spec.approx {
 		sp.Seed = 0 // deterministic algorithms: one cache slot for all seeds
 	}
-	if spec.approx {
-		if sp.Quality < 0 || sp.Quality > 0.5 {
-			return algoSpec{}, fmt.Errorf("quality = %v outside [0, 0.5]", sp.Quality)
-		}
-		if sp.SampleBudget < 0 {
-			return algoSpec{}, fmt.Errorf("sample_budget = %d is negative", sp.SampleBudget)
-		}
-	} else {
+	if !spec.approx {
 		sp.Quality, sp.SampleBudget = 0, 0 // irrelevant: don't fragment cache slots
 	}
-	if sp.Parallelism < 0 {
-		return algoSpec{}, fmt.Errorf("parallelism = %d is negative", sp.Parallelism)
+	if spec.coarsen {
+		switch sp.Coarsen {
+		case "":
+			sp.Coarsen = "bounded" // canonical: one cache slot for the default
+		case "bounded", "lossless":
+		default:
+			return algoSpec{}, fmt.Errorf("unknown coarsen mode %q (have lossless, bounded)", sp.Coarsen)
+		}
+	} else {
+		sp.Coarsen, sp.CoarsenRatio = "", 0 // irrelevant: don't fragment cache slots
+	}
+	// The numeric knobs share core's validation, so a bad value produces
+	// the same error through HTTP, the CLI and direct core callers.
+	if err := (core.Options{
+		Strategy:     spec.strategy,
+		Parallelism:  sp.Parallelism,
+		Quality:      sp.Quality,
+		SampleBudget: sp.SampleBudget,
+		Coarsen:      sp.coarsenOptions(),
+	}).Validate(); err != nil {
+		return algoSpec{}, err
 	}
 	if sp.Parallelism > maxParallelism {
 		sp.Parallelism = maxParallelism
@@ -178,7 +213,7 @@ func (sp *PlaceSpec) newEvaluator(m *flow.Model) flow.Evaluator {
 // requests differing only in parallelism dedup onto one job.
 func (sp *PlaceSpec) cacheKey(graphID string, version int64, sources []int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|q%g|b%d|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed, sp.Quality, sp.SampleBudget)
+	fmt.Fprintf(&b, "%s|v%d|%s|%d|%s|%d|q%g|b%d|c%s|r%g|", graphID, version, sp.Algorithm, sp.K, sp.Engine, sp.Seed, sp.Quality, sp.SampleBudget, sp.Coarsen, sp.CoarsenRatio)
 	for _, s := range sources {
 		fmt.Fprintf(&b, "%d,", s)
 	}
@@ -208,6 +243,7 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 		Quality:      sp.Quality,
 		SampleBudget: sp.SampleBudget,
 		SampleSeed:   sp.Seed,
+		Coarsen:      sp.coarsenOptions(),
 		Trace:        tr,
 		Tenant:       tc.Name(),
 		Account:      tc,
@@ -215,9 +251,24 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 	if err != nil {
 		return nil, err
 	}
+	if cs := pres.CoarsenStats; cs != nil {
+		contracted := int64(cs.NodesBefore - cs.NodesAfter)
+		if metrics != nil {
+			metrics.CoarsenPlacements.Add(1)
+			metrics.CoarsenNodesContracted.Add(contracted)
+			metrics.CoarsenRounds.Add(int64(cs.Rounds))
+			if cs.LosslessOnly {
+				metrics.CoarsenLossless.Add(1)
+			}
+		}
+		tc.AddCoarsen(contracted)
+	}
 	if metrics != nil {
 		metrics.OracleEvaluations.Add(int64(pres.Stats.GainEvaluations))
-		if spec.approx {
+		// mlcelf is approx-capable but only estimate-driven when the
+		// quality knobs are set; exact quotient solves stay out of the
+		// Approx* series.
+		if spec.approx && pres.Stats.SampledEvaluations > 0 {
 			metrics.ApproxPlacements.Add(1)
 			metrics.ApproxSampledEvaluations.Add(int64(pres.Stats.SampledEvaluations))
 			metrics.ApproxExactRechecks.Add(int64(pres.Stats.GainEvaluations))
@@ -254,6 +305,10 @@ func (sp *PlaceSpec) execute(ctx context.Context, spec algoSpec, m *flow.Model, 
 	if pres.PhiCI != nil {
 		ci := *pres.PhiCI
 		res.PhiCI = &ci
+	}
+	if pres.CoarsenStats != nil {
+		cs := *pres.CoarsenStats
+		res.Coarsen = &cs
 	}
 	if g := m.Graph(); g.HasLabels() {
 		res.Labels = make([]string, len(filters))
